@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark / figure-reproduction harness.
+
+Every benchmark regenerates one of the paper's evaluation figures (or an
+ablation) and writes a plain-text rendering of the regenerated rows/series
+to ``benchmarks/results/`` so the numbers can be inspected after the run,
+alongside asserting the qualitative claims the paper makes about the
+figure (who wins, by roughly what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a regenerated figure's text rendering under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Experiment size used by the figure benchmarks.
+
+    40 runs (like the paper) with a reduced per-run packet count so the
+    whole harness completes in minutes; set ``ANC_BENCH_PACKETS`` /
+    ``ANC_BENCH_RUNS`` to scale it up towards the paper's 1000-packet runs.
+    """
+    runs = int(os.environ.get("ANC_BENCH_RUNS", "20"))
+    packets = int(os.environ.get("ANC_BENCH_PACKETS", "10"))
+    return ExperimentConfig(runs=runs, packets_per_run=packets, seed=20070823)

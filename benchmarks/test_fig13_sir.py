@@ -1,0 +1,35 @@
+"""Figure 13: BER of ANC decoding vs signal-to-interference ratio at Alice.
+
+Paper's claims for this figure:
+* decoding works even at -3 dB SIR (the wanted signal *weaker* than the
+  interference being cancelled) with BER under ~5 %;
+* BER falls as SIR rises and is essentially zero once the wanted signal is
+  a few dB stronger;
+* blind-separation schemes need ~+6 dB SIR, so ANC's reach below 0 dB is
+  the differentiator.
+"""
+
+from conftest import write_result
+
+from repro.experiments.sir_sweep import render_sir_table, run_sir_sweep
+
+
+def test_fig13_ber_vs_sir(benchmark, bench_config):
+    points = benchmark.pedantic(
+        run_sir_sweep,
+        args=(bench_config,),
+        kwargs={"packets_per_point": max(8, bench_config.packets_per_run)},
+        rounds=1,
+        iterations=1,
+    )
+    write_result("fig13_ber_vs_sir", render_sir_table(points))
+
+    by_sir = {p.sir_db: p for p in points}
+    # Decodes at -3 dB SIR with low BER (paper: < 5 %).
+    assert by_sir[-3.0].mean_ber < 0.05
+    assert by_sir[-3.0].decode_failures <= 1
+    # Essentially error-free once the wanted signal is a few dB stronger.
+    assert by_sir[4.0].mean_ber < 0.005
+    # High-SIR BER is no worse than the low-SIR BER (the overall trend of
+    # the figure: stronger wanted signal, fewer errors).
+    assert by_sir[4.0].mean_ber <= by_sir[-3.0].mean_ber + 1e-9

@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Capacity bounds of the two-way relay channel (Theorem 8.1 / Fig. 7).
+
+Prints the routing upper bound and the ANC lower bound across SNR, the
+low-SNR crossover below which amplify-and-forward is counterproductive,
+and the asymptotic 2x gain.
+
+Run with::
+
+    python examples/capacity_analysis.py
+"""
+
+from repro.capacity.bounds import capacity_gain
+from repro.experiments.capacity_fig7 import render_capacity_table, run_capacity_experiment
+
+
+def main() -> None:
+    curve = run_capacity_experiment()
+    print(render_capacity_table(curve, step=5))
+    print()
+    for snr_db in (5.0, 10.0, 20.0, 30.0, 40.0):
+        print(f"  gain at {snr_db:4.0f} dB SNR: {capacity_gain(snr_db):.2f}x")
+    print()
+    print("WLANs operate around 25-40 dB SNR, well inside the region where "
+          "analog network coding approaches its 2x capacity gain (§8).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Sensitivity of ANC decoding to relative signal strength (Fig. 13).
+
+Sweeps the signal-to-interference ratio at Alice — the power of the packet
+she *wants* (Bob's) relative to the one she is cancelling (her own) — and
+reports the decoding BER.  The paper's headline: decoding still works at
+-3 dB SIR, whereas blind signal separation needs about +6 dB.
+
+Run with::
+
+    python examples/sir_sensitivity.py [packets_per_point]
+"""
+
+import sys
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sir_sweep import render_sir_table, run_sir_sweep
+
+
+def main() -> None:
+    packets = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    config = ExperimentConfig(runs=1, packets_per_run=packets, seed=31)
+    points = run_sir_sweep(config, packets_per_point=packets)
+    print(render_sir_table(points))
+    print()
+    lowest = min(points, key=lambda p: p.sir_db)
+    print(f"at {lowest.sir_db:+.0f} dB SIR the BER is {lowest.mean_ber:.3%} — "
+          "the wanted signal is weaker than the interference, yet it decodes "
+          "(paper: < 5%; blind separation schemes need about +6 dB).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools predates PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

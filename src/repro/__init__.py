@@ -1,0 +1,28 @@
+"""Analog Network Coding (ANC) — a Python reproduction of
+*Embracing Wireless Interference: Analog Network Coding* (Katti,
+Gollakota, Katabi — SIGCOMM 2007).
+
+The package is organised bottom-up:
+
+* substrates: :mod:`repro.utils`, :mod:`repro.signal`,
+  :mod:`repro.modulation`, :mod:`repro.channel`, :mod:`repro.scrambler`,
+  :mod:`repro.coding`, :mod:`repro.framing`;
+* the paper's contribution: :mod:`repro.anc` (interfered-MSK decoding);
+* the system around it: :mod:`repro.node`, :mod:`repro.mac`,
+  :mod:`repro.network`, :mod:`repro.protocols`;
+* analysis and evaluation: :mod:`repro.capacity`, :mod:`repro.metrics`,
+  :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro.experiments import ExperimentConfig, run_alice_bob_experiment
+
+    report = run_alice_bob_experiment(ExperimentConfig.quick())
+    print(report.render())
+"""
+
+from repro import constants, exceptions
+
+__version__ = "1.0.0"
+
+__all__ = ["constants", "exceptions", "__version__"]

@@ -1,0 +1,84 @@
+"""SNR sweep that regenerates Fig. 7.
+
+``capacity_sweep`` evaluates both Theorem 8.1 bounds over a range of SNRs
+and returns a :class:`CapacityCurve` with the same series the figure plots
+(traditional upper bound and ANC lower bound versus SNR in dB), plus the
+derived gain curve and the low-SNR crossover point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.capacity.bounds import (
+    DEFAULT_ALPHA,
+    anc_capacity_lower_bound,
+    capacity_gain,
+    crossover_snr_db,
+    traditional_capacity_upper_bound,
+)
+from repro.exceptions import CapacityError
+
+
+@dataclass(frozen=True)
+class CapacityCurve:
+    """The Fig. 7 series: capacity bounds as functions of SNR."""
+
+    snr_db: Tuple[float, ...]
+    traditional: Tuple[float, ...]
+    anc: Tuple[float, ...]
+    gain: Tuple[float, ...]
+    crossover_db: float
+
+    def as_rows(self) -> List[Tuple[float, float, float, float]]:
+        """Rows of (snr_db, traditional, anc, gain) for tabular output."""
+        return list(zip(self.snr_db, self.traditional, self.anc, self.gain))
+
+    @property
+    def asymptotic_gain(self) -> float:
+        """Gain at the highest swept SNR (should approach 2)."""
+        return self.gain[-1]
+
+    def gain_at(self, snr_db: float) -> float:
+        """Linearly interpolated gain at an arbitrary SNR."""
+        return float(np.interp(snr_db, self.snr_db, self.gain))
+
+
+def capacity_sweep(
+    snr_db_values: Sequence[float] = None,
+    alpha: float = DEFAULT_ALPHA,
+) -> CapacityCurve:
+    """Evaluate the Theorem 8.1 bounds over a range of SNRs (Fig. 7).
+
+    Parameters
+    ----------
+    snr_db_values:
+        SNR grid in dB.  Defaults to 0-55 dB in 1 dB steps, the figure's
+        x-axis range.
+    alpha:
+        Time-sharing constant (1/4 in the paper).
+    """
+    if snr_db_values is None:
+        snr_db_values = np.arange(0.0, 56.0, 1.0)
+    grid = np.asarray(list(snr_db_values), dtype=float)
+    if grid.size == 0:
+        raise CapacityError("the SNR grid must not be empty")
+    if np.any(np.diff(grid) <= 0):
+        raise CapacityError("the SNR grid must be strictly increasing")
+    traditional = traditional_capacity_upper_bound(grid, alpha)
+    anc = anc_capacity_lower_bound(grid, alpha)
+    gain = capacity_gain(grid, alpha)
+    try:
+        crossover = crossover_snr_db(low_db=float(grid[0]), high_db=float(grid[-1]), alpha=alpha)
+    except CapacityError:
+        crossover = float("nan")
+    return CapacityCurve(
+        snr_db=tuple(float(v) for v in grid),
+        traditional=tuple(float(v) for v in np.atleast_1d(traditional)),
+        anc=tuple(float(v) for v in np.atleast_1d(anc)),
+        gain=tuple(float(v) for v in np.atleast_1d(gain)),
+        crossover_db=crossover,
+    )

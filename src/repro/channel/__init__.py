@@ -1,0 +1,32 @@
+"""Wireless channel models.
+
+The paper approximates the effect of a wireless channel on a narrowband
+signal as an attenuation plus a phase shift (§5.3, §6), with additive white
+Gaussian noise at the receiver and an unknown time offset between
+unsynchronised transmitters.  This package provides those effects as
+composable channel stages, a :class:`Link` that bundles the per-hop
+parameters, and the interference combiner that models concurrent
+transmissions arriving at one receiver.
+"""
+
+from repro.channel.model import Channel, ChannelChain, IdentityChannel
+from repro.channel.flat import FlatFadingChannel
+from repro.channel.awgn import AWGNChannel
+from repro.channel.delay import DelayChannel
+from repro.channel.link import Link
+from repro.channel.relay import AmplifyAndForwardRelayChannel
+from repro.channel.interference import InterferenceCombiner, OverlapModel, CollisionResult
+
+__all__ = [
+    "AWGNChannel",
+    "AmplifyAndForwardRelayChannel",
+    "Channel",
+    "ChannelChain",
+    "CollisionResult",
+    "DelayChannel",
+    "FlatFadingChannel",
+    "IdentityChannel",
+    "InterferenceCombiner",
+    "Link",
+    "OverlapModel",
+]

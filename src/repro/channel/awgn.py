@@ -1,0 +1,37 @@
+"""Additive white Gaussian noise channel stage."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.model import Channel
+from repro.exceptions import ChannelError
+from repro.signal.noise import complex_gaussian_noise
+from repro.signal.samples import ComplexSignal
+
+
+class AWGNChannel(Channel):
+    """Add circularly-symmetric complex Gaussian noise of a fixed power.
+
+    Parameters
+    ----------
+    noise_power:
+        Total complex noise power ``E[|z|^2]`` added per sample.  A value
+        of 0 produces a noiseless channel (useful in unit tests).
+    rng:
+        Random generator; pass a seeded generator for reproducible runs.
+    """
+
+    def __init__(self, noise_power: float, rng: Optional[np.random.Generator] = None) -> None:
+        if noise_power < 0:
+            raise ChannelError("noise power must be non-negative")
+        self.noise_power = float(noise_power)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def apply(self, signal: ComplexSignal) -> ComplexSignal:
+        if self.noise_power == 0.0 or len(signal) == 0:
+            return signal
+        noise = complex_gaussian_noise(len(signal), self.noise_power, self._rng)
+        return ComplexSignal(signal.samples + noise)

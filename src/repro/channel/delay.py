@@ -1,0 +1,27 @@
+"""Integer-sample propagation / start-time delay."""
+
+from __future__ import annotations
+
+from repro.channel.model import Channel
+from repro.exceptions import ChannelError
+from repro.signal.ops import delay_signal
+from repro.signal.samples import ComplexSignal
+
+
+class DelayChannel(Channel):
+    """Delay a signal by an integer number of samples.
+
+    In the simulator this models both propagation delay and — more
+    importantly for ANC — the deliberate random start offset that keeps the
+    two interfering packets from overlapping completely (§7.2).
+    """
+
+    def __init__(self, delay_samples: int) -> None:
+        if delay_samples < 0:
+            raise ChannelError("delay must be non-negative")
+        self.delay_samples = int(delay_samples)
+
+    def apply(self, signal: ComplexSignal) -> ComplexSignal:
+        if self.delay_samples == 0:
+            return signal
+        return delay_signal(signal, self.delay_samples)

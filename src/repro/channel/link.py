@@ -1,0 +1,130 @@
+"""A directed wireless link between two nodes.
+
+A :class:`Link` bundles the per-hop channel parameters the simulator needs
+when it delivers a transmission from one node to another: amplitude
+attenuation, phase offset, propagation delay and the receiver-side noise
+power.  It can be converted to a :class:`~repro.channel.model.ChannelChain`
+for direct application to a waveform, and exposes the derived quantities
+(power gain, per-hop SNR) used by the capacity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.awgn import AWGNChannel
+from repro.channel.delay import DelayChannel
+from repro.channel.flat import FlatFadingChannel
+from repro.channel.model import ChannelChain
+from repro.exceptions import ChannelError
+from repro.signal.samples import ComplexSignal
+from repro.utils.db import power_ratio_to_db
+
+
+@dataclass
+class Link:
+    """Directed link parameters from one node to another.
+
+    Parameters
+    ----------
+    attenuation:
+        Amplitude gain ``h`` of the link.
+    phase_shift:
+        Phase offset ``gamma`` (radians) introduced by the path.
+    propagation_delay:
+        Integer sample delay of the path.
+    noise_power:
+        Noise power added at the *receiver* of this link.
+    frequency_offset:
+        Residual carrier frequency offset (radians per sample) between the
+        transmitter's and the receiver's oscillators.
+    attenuation_drift, phase_drift:
+        Optional slow drift of the channel coefficient (see
+        :class:`~repro.channel.flat.FlatFadingChannel`).
+    """
+
+    attenuation: float = 1.0
+    phase_shift: float = 0.0
+    propagation_delay: int = 0
+    noise_power: float = 0.0
+    frequency_offset: float = 0.0
+    attenuation_drift: float = 0.0
+    phase_drift: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.attenuation <= 0:
+            raise ChannelError("link attenuation must be positive")
+        if self.propagation_delay < 0:
+            raise ChannelError("propagation delay must be non-negative")
+        if self.noise_power < 0:
+            raise ChannelError("noise power must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def complex_gain(self) -> complex:
+        """Nominal complex coefficient ``h * exp(i gamma)`` of the link."""
+        return self.attenuation * np.exp(1j * self.phase_shift)
+
+    @property
+    def power_gain(self) -> float:
+        """Power attenuation ``h^2``."""
+        return self.attenuation ** 2
+
+    def received_power(self, transmit_power: float) -> float:
+        """Power observed at the receiver for a given transmit power."""
+        if transmit_power < 0:
+            raise ChannelError("transmit power must be non-negative")
+        return transmit_power * self.power_gain
+
+    def snr_db(self, transmit_power: float) -> float:
+        """Per-hop SNR in dB for a given transmit power."""
+        if self.noise_power <= 0:
+            raise ChannelError("SNR is undefined for a noiseless link")
+        return power_ratio_to_db(self.received_power(transmit_power) / self.noise_power)
+
+    # ------------------------------------------------------------------
+    # Application to waveforms
+    # ------------------------------------------------------------------
+    def to_chain(
+        self,
+        include_noise: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ChannelChain:
+        """Build the channel-stage chain corresponding to this link."""
+        stages = [
+            FlatFadingChannel(
+                attenuation=self.attenuation,
+                phase_shift=self.phase_shift,
+                frequency_offset=self.frequency_offset,
+                attenuation_drift=self.attenuation_drift,
+                phase_drift=self.phase_drift,
+                rng=rng,
+            ),
+            DelayChannel(self.propagation_delay),
+        ]
+        if include_noise and self.noise_power > 0:
+            stages.append(AWGNChannel(self.noise_power, rng=rng))
+        return ChannelChain(stages)
+
+    def propagate(
+        self,
+        signal: ComplexSignal,
+        include_noise: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ComplexSignal:
+        """Apply the link's distortion (and optionally noise) to a waveform."""
+        return self.to_chain(include_noise=include_noise, rng=rng).apply(signal)
+
+    def distort(self, signal: ComplexSignal, rng: Optional[np.random.Generator] = None) -> ComplexSignal:
+        """Apply only the deterministic distortion (no receiver noise).
+
+        The medium model uses this when it superposes several concurrent
+        transmissions: each is distorted by its own link, the sum is formed,
+        and a single noise realisation is added at the receiver.
+        """
+        return self.propagate(signal, include_noise=False, rng=rng)

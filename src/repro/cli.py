@@ -1,0 +1,98 @@
+"""Command-line interface for the ANC reproduction experiments.
+
+``python -m repro.cli <experiment>`` (or the ``anc-repro`` console script)
+runs any of the figure-reproduction experiments from a shell and prints the
+same plain-text report the benchmark harness writes, without needing to
+write any Python.  Intended for quickly regenerating a single figure at a
+custom size::
+
+    python -m repro.cli alice-bob --runs 10 --packets 20
+    python -m repro.cli capacity
+    python -m repro.cli sir --seed 3
+    python -m repro.cli summary --runs 5 --packets 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.alice_bob import run_alice_bob_experiment
+from repro.experiments.capacity_fig7 import render_capacity_table, run_capacity_experiment
+from repro.experiments.chain import run_chain_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sir_sweep import render_sir_table, run_sir_sweep
+from repro.experiments.snr_sweep import render_snr_table, run_snr_sweep
+from repro.experiments.summary import run_summary
+from repro.experiments.x_topology import run_x_topology_experiment
+
+#: Experiment names accepted on the command line, with the figure they map to.
+EXPERIMENTS = {
+    "capacity": "Fig. 7  — capacity bounds vs SNR",
+    "alice-bob": "Fig. 9  — Alice-Bob topology",
+    "x": "Fig. 10 — the X topology",
+    "chain": "Fig. 12 — chain topology",
+    "sir": "Fig. 13 — BER vs SIR",
+    "snr": "extension — gain and BER vs operating SNR",
+    "summary": "§11.3  — summary of results",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="anc-repro",
+        description="Regenerate the evaluation figures of 'Embracing Wireless "
+        "Interference: Analog Network Coding' (SIGCOMM 2007).",
+        epilog="experiments: "
+        + "; ".join(f"{name}: {desc}" for name, desc in EXPERIMENTS.items()),
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="which figure to regenerate")
+    parser.add_argument("--runs", type=int, default=10, help="independent testbed runs (default 10)")
+    parser.add_argument(
+        "--packets", type=int, default=10, help="packets per direction per run (default 10)"
+    )
+    parser.add_argument(
+        "--payload-bits", type=int, default=768, help="payload size in bits (default 768)"
+    )
+    parser.add_argument("--seed", type=int, default=20070823, help="master random seed")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        runs=args.runs,
+        packets_per_run=args.packets,
+        payload_bits=args.payload_bits,
+        seed=args.seed,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "capacity":
+        print(render_capacity_table(run_capacity_experiment()))
+        return 0
+    config = _config_from_args(args)
+    if args.experiment == "alice-bob":
+        print(run_alice_bob_experiment(config).render())
+    elif args.experiment == "x":
+        print(run_x_topology_experiment(config).render())
+    elif args.experiment == "chain":
+        print(run_chain_experiment(config).render())
+    elif args.experiment == "sir":
+        print(render_sir_table(run_sir_sweep(config, packets_per_point=args.packets)))
+    elif args.experiment == "snr":
+        print(render_snr_table(run_snr_sweep(config)))
+    elif args.experiment == "summary":
+        print(run_summary(config).render())
+    else:  # pragma: no cover - argparse's choices already prevent this
+        print(f"unknown experiment {args.experiment!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,104 @@
+"""Cyclic redundancy checks over bit arrays.
+
+CRCs are used by the framing layer to validate decoded headers (so the
+router and the destinations can trust the SrcID/DstID/SeqNo fields they
+read out of an interfered signal, §7.3/§7.5) and to detect residual errors
+in decoded payloads when computing packet delivery statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import CRCError, ConfigurationError
+from repro.utils.bits import as_bit_array, bits_from_int, bits_to_int
+
+
+@dataclass(frozen=True)
+class CRCSpec:
+    """Parameters of a CRC: width, generator polynomial and initial value."""
+
+    width: int
+    polynomial: int
+    initial: int
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ConfigurationError("CRC width must be positive")
+        if self.polynomial <= 0:
+            raise ConfigurationError("CRC polynomial must be positive")
+
+
+class _BitwiseCRC:
+    """Straightforward bitwise CRC engine (MSB-first, no reflection)."""
+
+    def __init__(self, spec: CRCSpec) -> None:
+        self.spec = spec
+        self._top_bit = 1 << (spec.width - 1)
+        self._mask = (1 << spec.width) - 1
+
+    def compute(self, bits) -> int:
+        """CRC register value after shifting in all data bits."""
+        data = as_bit_array(bits)
+        register = self.spec.initial & self._mask
+        for bit in data:
+            incoming = int(bit) ^ ((register >> (self.spec.width - 1)) & 1)
+            register = (register << 1) & self._mask
+            if incoming:
+                register ^= self.spec.polynomial & self._mask
+        return register
+
+    def compute_bits(self, bits) -> np.ndarray:
+        """CRC value rendered as a bit array of the CRC's width."""
+        return bits_from_int(self.compute(bits), self.spec.width)
+
+    def append(self, bits) -> np.ndarray:
+        """Return ``bits`` with the CRC appended."""
+        data = as_bit_array(bits)
+        return np.concatenate([data, self.compute_bits(data)])
+
+    def verify(self, bits_with_crc) -> bool:
+        """Check a bit array whose last ``width`` bits are the CRC."""
+        data = as_bit_array(bits_with_crc)
+        if data.size < self.spec.width:
+            return False
+        payload = data[: -self.spec.width]
+        received = bits_to_int(data[-self.spec.width :])
+        return self.compute(payload) == received
+
+    def strip(self, bits_with_crc) -> np.ndarray:
+        """Verify and remove the trailing CRC, raising :class:`CRCError` on failure."""
+        data = as_bit_array(bits_with_crc)
+        if not self.verify(data):
+            raise CRCError(f"{self.spec.name} check failed")
+        return data[: -self.spec.width]
+
+
+#: CRC-16/CCITT-FALSE: polynomial 0x1021, initial value 0xFFFF.
+CRC16 = _BitwiseCRC(CRCSpec(width=16, polynomial=0x1021, initial=0xFFFF, name="CRC-16/CCITT"))
+
+#: CRC-32 (IEEE 802.3 polynomial, non-reflected variant used only internally).
+CRC32 = _BitwiseCRC(CRCSpec(width=32, polynomial=0x04C11DB7, initial=0xFFFFFFFF, name="CRC-32"))
+
+
+def append_crc(bits, crc: _BitwiseCRC = CRC16) -> np.ndarray:
+    """Append a CRC to a bit array (default CRC-16)."""
+    return crc.append(bits)
+
+
+def check_and_strip_crc(bits, crc: _BitwiseCRC = CRC16) -> Tuple[np.ndarray, bool]:
+    """Return ``(payload, ok)`` where ``ok`` indicates whether the CRC matched.
+
+    Unlike :meth:`_BitwiseCRC.strip` this never raises, which is the shape
+    the packet-delivery accounting wants: a failed CRC is a lost packet,
+    not an exception.
+    """
+    data = as_bit_array(bits)
+    if data.size < crc.spec.width:
+        return data, False
+    ok = crc.verify(data)
+    return data[: -crc.spec.width], ok

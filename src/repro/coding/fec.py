@@ -1,0 +1,138 @@
+"""Composable forward-error-correction interface.
+
+All concrete codes (repetition, Hamming) implement :class:`BlockCode`:
+``encode(bits)`` expands ``k`` data bits into ``n`` coded bits and
+``decode(bits)`` maps possibly-corrupted coded bits back to data bits.
+:class:`FECPipeline` chains codes (and the interleaver) and computes the
+aggregate redundancy overhead, which is the quantity §11.4 of the paper
+charges against ANC's throughput.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import CodingError
+from repro.utils.validation import ensure_bit_array
+
+
+class BlockCode(abc.ABC):
+    """A code that maps ``k`` data bits to ``n`` coded bits per block."""
+
+    @property
+    @abc.abstractmethod
+    def data_bits_per_block(self) -> int:
+        """Number of data bits consumed per block (k)."""
+
+    @property
+    @abc.abstractmethod
+    def coded_bits_per_block(self) -> int:
+        """Number of coded bits produced per block (n)."""
+
+    @abc.abstractmethod
+    def encode(self, bits) -> np.ndarray:
+        """Encode a bit array whose length is a multiple of ``k``."""
+
+    @abc.abstractmethod
+    def decode(self, bits) -> np.ndarray:
+        """Decode a bit array whose length is a multiple of ``n``."""
+
+    @property
+    def rate(self) -> float:
+        """Code rate ``k / n``."""
+        return self.data_bits_per_block / self.coded_bits_per_block
+
+    @property
+    def redundancy_overhead(self) -> float:
+        """Extra transmitted bits per data bit, ``n/k - 1``."""
+        return self.coded_bits_per_block / self.data_bits_per_block - 1.0
+
+    def _validate_encode_length(self, bits: np.ndarray) -> None:
+        if bits.size % self.data_bits_per_block != 0:
+            raise CodingError(
+                f"data length {bits.size} is not a multiple of k={self.data_bits_per_block}"
+            )
+
+    def _validate_decode_length(self, bits: np.ndarray) -> None:
+        if bits.size % self.coded_bits_per_block != 0:
+            raise CodingError(
+                f"coded length {bits.size} is not a multiple of n={self.coded_bits_per_block}"
+            )
+
+
+class IdentityCode(BlockCode):
+    """The trivial rate-1 code (no redundancy); useful as a pipeline default."""
+
+    @property
+    def data_bits_per_block(self) -> int:
+        return 1
+
+    @property
+    def coded_bits_per_block(self) -> int:
+        return 1
+
+    def encode(self, bits) -> np.ndarray:
+        return ensure_bit_array(bits, "bits")
+
+    def decode(self, bits) -> np.ndarray:
+        return ensure_bit_array(bits, "bits")
+
+
+class FECPipeline:
+    """A chain of block codes applied in order on encode, reversed on decode.
+
+    Parameters
+    ----------
+    stages:
+        Codes applied outermost-first on encode.  For example
+        ``FECPipeline([Hamming74Code(), RepetitionCode(3)])`` first Hamming
+        encodes the data and then repeats every coded bit three times.
+    """
+
+    def __init__(self, stages: Iterable[BlockCode]) -> None:
+        self.stages: List[BlockCode] = list(stages)
+        if not self.stages:
+            self.stages = [IdentityCode()]
+        for stage in self.stages:
+            if not isinstance(stage, BlockCode):
+                raise CodingError(f"not a BlockCode: {stage!r}")
+
+    def encode(self, bits) -> np.ndarray:
+        out = ensure_bit_array(bits, "bits")
+        for stage in self.stages:
+            out = stage.encode(out)
+        return out
+
+    def decode(self, bits) -> np.ndarray:
+        out = ensure_bit_array(bits, "bits")
+        for stage in reversed(self.stages):
+            out = stage.decode(out)
+        return out
+
+    @property
+    def rate(self) -> float:
+        """Overall code rate (product of stage rates)."""
+        rate = 1.0
+        for stage in self.stages:
+            rate *= stage.rate
+        return rate
+
+    @property
+    def redundancy_overhead(self) -> float:
+        """Extra transmitted bits per data bit for the whole pipeline."""
+        return 1.0 / self.rate - 1.0
+
+    def expansion(self, n_data_bits: int) -> int:
+        """Number of coded bits produced for ``n_data_bits`` data bits."""
+        length = n_data_bits
+        for stage in self.stages:
+            if length % stage.data_bits_per_block != 0:
+                raise CodingError(
+                    f"data length {length} is not a multiple of k={stage.data_bits_per_block} "
+                    f"for stage {type(stage).__name__}"
+                )
+            length = (length // stage.data_bits_per_block) * stage.coded_bits_per_block
+        return length

@@ -1,0 +1,92 @@
+"""Hamming(7,4) single-error-correcting block code.
+
+Rate 4/7 with single-bit error correction per 7-bit block: this is the
+realistic "moderate redundancy" option for absorbing ANC's residual BER.
+Its ~14 % overhead brackets the 8 % figure the paper quotes for the extra
+redundancy ANC needs (§11.4) — the throughput accounting in
+:mod:`repro.metrics` takes the overhead as a parameter precisely so either
+value can be charged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.fec import BlockCode
+from repro.exceptions import CodingError
+from repro.utils.validation import ensure_bit_array
+
+#: Generator matrix (4x7) in systematic form [I | P].
+_G = np.array(
+    [
+        [1, 0, 0, 0, 1, 1, 0],
+        [0, 1, 0, 0, 1, 0, 1],
+        [0, 0, 1, 0, 0, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1],
+    ],
+    dtype=np.uint8,
+)
+
+#: Parity-check matrix (3x7) corresponding to ``_G``.
+_H = np.array(
+    [
+        [1, 1, 0, 1, 1, 0, 0],
+        [1, 0, 1, 1, 0, 1, 0],
+        [0, 1, 1, 1, 0, 0, 1],
+    ],
+    dtype=np.uint8,
+)
+
+
+def _syndrome_table() -> dict:
+    """Map each non-zero syndrome to the single-bit error position it implies."""
+    table = {}
+    for position in range(7):
+        error = np.zeros(7, dtype=np.uint8)
+        error[position] = 1
+        syndrome = tuple((_H @ error) % 2)
+        table[syndrome] = position
+    return table
+
+
+_SYNDROMES = _syndrome_table()
+
+
+class Hamming74Code(BlockCode):
+    """Systematic Hamming(7,4) encoder/decoder with single-error correction."""
+
+    @property
+    def data_bits_per_block(self) -> int:
+        return 4
+
+    @property
+    def coded_bits_per_block(self) -> int:
+        return 7
+
+    def encode(self, bits) -> np.ndarray:
+        clean = ensure_bit_array(bits, "bits")
+        self._validate_encode_length(clean)
+        if clean.size == 0:
+            return clean
+        blocks = clean.reshape(-1, 4)
+        coded = (blocks @ _G) % 2
+        return coded.astype(np.uint8).reshape(-1)
+
+    def decode(self, bits) -> np.ndarray:
+        coded = ensure_bit_array(bits, "bits")
+        self._validate_decode_length(coded)
+        if coded.size == 0:
+            return coded
+        blocks = coded.reshape(-1, 7).copy()
+        syndromes = (blocks @ _H.T) % 2
+        for i, syndrome in enumerate(syndromes):
+            key = tuple(int(s) for s in syndrome)
+            if key in _SYNDROMES:
+                position = _SYNDROMES[key]
+                blocks[i, position] ^= 1
+        # Systematic code: the first four bits of each block are the data.
+        return blocks[:, :4].astype(np.uint8).reshape(-1)
+
+    def correctable_errors_per_block(self) -> int:
+        """Hamming(7,4) corrects exactly one error per 7-bit block."""
+        return 1

@@ -1,0 +1,52 @@
+"""Repetition code.
+
+The simplest error-correcting code: every data bit is transmitted ``r``
+times and decoded by majority vote.  With ``r = 3`` it corrects any single
+error per block, which is more than enough to absorb the 2-4 % residual BER
+of ANC decoding at the cost of a rate of 1/3 — the benchmarks use it as the
+"generous redundancy" end of the FEC ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.fec import BlockCode
+from repro.exceptions import CodingError
+from repro.utils.validation import ensure_bit_array, ensure_positive_int
+
+
+class RepetitionCode(BlockCode):
+    """Repeat each bit ``repetitions`` times; decode by majority vote.
+
+    ``repetitions`` must be odd so every vote has a strict majority.
+    """
+
+    def __init__(self, repetitions: int = 3) -> None:
+        reps = ensure_positive_int(repetitions, "repetitions")
+        if reps % 2 == 0:
+            raise CodingError("repetition count must be odd so majority voting is unambiguous")
+        self.repetitions = reps
+
+    @property
+    def data_bits_per_block(self) -> int:
+        return 1
+
+    @property
+    def coded_bits_per_block(self) -> int:
+        return self.repetitions
+
+    def encode(self, bits) -> np.ndarray:
+        clean = ensure_bit_array(bits, "bits")
+        return np.repeat(clean, self.repetitions)
+
+    def decode(self, bits) -> np.ndarray:
+        coded = ensure_bit_array(bits, "bits")
+        self._validate_decode_length(coded)
+        groups = coded.reshape(-1, self.repetitions)
+        votes = groups.sum(axis=1)
+        return (votes > self.repetitions // 2).astype(np.uint8)
+
+    def correctable_errors_per_block(self) -> int:
+        """Maximum number of bit errors per block that are always corrected."""
+        return (self.repetitions - 1) // 2

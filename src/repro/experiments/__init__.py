@@ -1,0 +1,40 @@
+"""Experiment runners that regenerate every figure in the paper's evaluation.
+
+Each module reproduces one figure:
+
+* :mod:`repro.experiments.capacity_fig7` — Fig. 7, capacity bounds vs SNR.
+* :mod:`repro.experiments.alice_bob` — Fig. 9, Alice–Bob throughput-gain
+  and BER CDFs.
+* :mod:`repro.experiments.x_topology` — Fig. 10, the "X" topology.
+* :mod:`repro.experiments.chain` — Fig. 12, the unidirectional chain.
+* :mod:`repro.experiments.sir_sweep` — Fig. 13, BER versus
+  signal-to-interference ratio.
+* :mod:`repro.experiments.snr_sweep` — extension: measured gain and BER
+  across operating SNR, compared against the Theorem 8.1 prediction.
+* :mod:`repro.experiments.summary` — the §11.3 summary-of-results table.
+
+All runners are deterministic given an :class:`ExperimentConfig` seed and
+scale from quick CI-sized runs to paper-scale runs by changing the config.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.alice_bob import run_alice_bob_experiment
+from repro.experiments.x_topology import run_x_topology_experiment
+from repro.experiments.chain import run_chain_experiment
+from repro.experiments.sir_sweep import SIRPoint, run_sir_sweep
+from repro.experiments.snr_sweep import SNRPoint, run_snr_sweep
+from repro.experiments.capacity_fig7 import run_capacity_experiment
+from repro.experiments.summary import run_summary
+
+__all__ = [
+    "ExperimentConfig",
+    "SIRPoint",
+    "SNRPoint",
+    "run_alice_bob_experiment",
+    "run_capacity_experiment",
+    "run_chain_experiment",
+    "run_sir_sweep",
+    "run_snr_sweep",
+    "run_summary",
+    "run_x_topology_experiment",
+]

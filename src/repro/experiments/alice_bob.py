@@ -1,0 +1,110 @@
+"""Figure 9: the Alice–Bob topology.
+
+Each run draws a fresh topology (link gains, phases, CFOs), a fresh
+operating SNR and a fresh mean overlap, then executes the same traffic —
+``packets_per_run`` packets in each direction — under ANC, traditional
+routing and COPE.  Per-run throughput-gain samples feed the Fig. 9(a)
+CDFs; per-packet BERs of the ANC decodes feed the Fig. 9(b) CDF.
+
+Paper's headline results for this figure: ANC gains ~70 % over the
+traditional approach and ~30 % over COPE, with most packets below 4 % BER.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.channel.interference import OverlapModel
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.ber import ber_cdf
+from repro.metrics.gain import pair_runs
+from repro.metrics.report import ComparisonReport, ExperimentReport
+from repro.network.flows import Flow
+from repro.network.topologies import ALICE, BOB, RELAY, ChannelConditions, alice_bob_topology
+from repro.protocols.anc import ANCRelayProtocol, default_min_offset
+from repro.protocols.base import RunResult
+from repro.protocols.cope import CopeRelayProtocol
+from repro.protocols.traditional import TraditionalRouting
+
+
+def run_alice_bob_experiment(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+    """Run the Fig. 9 experiment and return its report."""
+    cfg = config if config is not None else ExperimentConfig()
+    anc_runs: List[RunResult] = []
+    traditional_runs: List[RunResult] = []
+    cope_runs: List[RunResult] = []
+
+    for run_index in range(cfg.runs):
+        topo_rng = cfg.run_rng(run_index, stream=0)
+        snr_db = cfg.draw_run_snr(topo_rng)
+        mean_overlap = cfg.draw_run_overlap(topo_rng)
+        conditions = ChannelConditions(snr_db=snr_db)
+        topology = alice_bob_topology(conditions, topo_rng)
+        flow_a = Flow(ALICE, BOB, cfg.packets_per_run)
+        flow_b = Flow(BOB, ALICE, cfg.packets_per_run)
+
+        traditional = TraditionalRouting(
+            topology,
+            [flow_a, flow_b],
+            payload_bits=cfg.payload_bits,
+            ber_acceptance=cfg.ber_acceptance,
+            rng=cfg.run_rng(run_index, stream=1),
+            topology_name="alice_bob",
+        )
+        traditional_runs.append(traditional.run())
+
+        cope = CopeRelayProtocol(
+            topology,
+            RELAY,
+            flow_a,
+            flow_b,
+            payload_bits=cfg.payload_bits,
+            ber_acceptance=cfg.ber_acceptance,
+            rng=cfg.run_rng(run_index, stream=2),
+            topology_name="alice_bob",
+        )
+        cope_runs.append(cope.run())
+
+        anc_rng = cfg.run_rng(run_index, stream=3)
+        overlap_model = OverlapModel(
+            mean_overlap=mean_overlap,
+            jitter=cfg.overlap_jitter,
+            min_offset=default_min_offset(),
+            rng=anc_rng,
+        )
+        anc = ANCRelayProtocol(
+            topology,
+            RELAY,
+            flow_a,
+            flow_b,
+            payload_bits=cfg.payload_bits,
+            ber_acceptance=cfg.ber_acceptance,
+            redundancy_overhead=cfg.anc_redundancy_overhead,
+            overlap_model=overlap_model,
+            rng=anc_rng,
+            topology_name="alice_bob",
+        )
+        anc_runs.append(anc.run())
+
+    report = ExperimentReport(name="fig09_alice_bob", anc_runs=anc_runs)
+    report.baseline_runs = {"traditional": traditional_runs, "cope": cope_runs}
+    report.comparisons = {
+        "traditional": ComparisonReport(
+            baseline_scheme="traditional",
+            samples=pair_runs(anc_runs, traditional_runs),
+        ),
+        "cope": ComparisonReport(
+            baseline_scheme="cope",
+            samples=pair_runs(anc_runs, cope_runs),
+        ),
+    }
+    report.ber_cdf = ber_cdf(anc_runs, include_losses=True)
+    report.extras = {
+        "mean_overlap": float(np.mean([r.mean_overlap for r in anc_runs])),
+        "anc_delivery_ratio": float(
+            np.mean([r.delivery_ratio for r in anc_runs])
+        ),
+    }
+    return report

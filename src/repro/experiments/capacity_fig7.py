@@ -1,0 +1,37 @@
+"""Figure 7: capacity bounds as functions of SNR.
+
+A thin wrapper over :func:`repro.capacity.sweep.capacity_sweep` that
+returns the curve plus the headline observations the paper draws from the
+figure: the crossover SNR below which amplify-and-forward hurts, and the
+asymptotic 2x gain at high SNR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.capacity.sweep import CapacityCurve, capacity_sweep
+
+
+def run_capacity_experiment(
+    snr_db_values: Optional[Sequence[float]] = None,
+) -> CapacityCurve:
+    """Evaluate the Theorem 8.1 bounds over the Fig. 7 SNR range."""
+    if snr_db_values is None:
+        snr_db_values = np.arange(0.0, 56.0, 1.0)
+    return capacity_sweep(snr_db_values)
+
+
+def render_capacity_table(curve: CapacityCurve, step: int = 5) -> str:
+    """Plain-text rendering of the Fig. 7 series (every ``step``-th point)."""
+    lines = ["SNR (dB) | traditional (b/s/Hz) | ANC (b/s/Hz) | gain"]
+    lines.append("-" * len(lines[0]))
+    rows = curve.as_rows()
+    for index in range(0, len(rows), step):
+        snr, trad, anc, gain = rows[index]
+        lines.append(f"{snr:8.1f} | {trad:20.3f} | {anc:12.3f} | {gain:5.2f}")
+    lines.append(f"crossover SNR: {curve.crossover_db:.1f} dB")
+    lines.append(f"gain at {rows[-1][0]:.0f} dB: {curve.asymptotic_gain:.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` drives every figure-reproduction runner.  The
+defaults are sized for a laptop: 40 runs (like the paper) but far fewer
+packets per run than the paper's 1000, because each packet is a full
+sample-level simulation.  ``ExperimentConfig.quick()`` shrinks everything
+for unit tests and CI; ``ExperimentConfig.paper_scale()`` restores the
+published workload for users with time to spare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_ANC_REDUNDANCY_OVERHEAD, PAPER_NUM_RUNS
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by the figure-reproduction experiments.
+
+    Attributes
+    ----------
+    runs:
+        Number of independent testbed runs (the paper repeats each
+        experiment 40 times and plots per-run CDFs).
+    packets_per_run:
+        Packets per direction per run (the paper uses 1000; the default
+        here is smaller because every packet is simulated at sample level).
+    payload_bits:
+        Payload size of every packet.
+    snr_db_range:
+        Per-run SNR is drawn uniformly from this range, modelling the
+        day-to-day variation of a real deployment in the 20-40 dB regime.
+    overlap_range:
+        Per-run mean packet overlap is drawn uniformly from this range
+        (§11.4 reports an 80 % average with substantial run-to-run spread).
+    overlap_jitter:
+        Within-run jitter of individual collision offsets.
+    ber_acceptance:
+        Residual BER that the error-correcting redundancy is assumed able
+        to repair; packets above it count as lost.
+    anc_redundancy_overhead:
+        Extra redundancy charged against ANC throughput (8 % in §11.4).
+    chain_redundancy_overhead:
+        The chain's residual BER is markedly lower (§11.6), so it needs
+        less redundancy.
+    seed:
+        Master seed; every run derives its own substream from it.
+    """
+
+    runs: int = PAPER_NUM_RUNS
+    packets_per_run: int = 30
+    payload_bits: int = 768
+    snr_db_range: Tuple[float, float] = (21.0, 29.0)
+    overlap_range: Tuple[float, float] = (0.74, 0.95)
+    overlap_jitter: float = 0.05
+    ber_acceptance: float = 0.05
+    anc_redundancy_overhead: float = DEFAULT_ANC_REDUNDANCY_OVERHEAD
+    chain_redundancy_overhead: float = 0.04
+    seed: int = 20070823
+
+    def __post_init__(self) -> None:
+        if self.runs <= 0:
+            raise ConfigurationError("runs must be positive")
+        if self.packets_per_run <= 0:
+            raise ConfigurationError("packets_per_run must be positive")
+        if self.payload_bits <= 0 or self.payload_bits % 8 != 0:
+            raise ConfigurationError("payload_bits must be a positive multiple of 8")
+        low, high = self.snr_db_range
+        if low > high:
+            raise ConfigurationError("snr_db_range must be (low, high) with low <= high")
+        olow, ohigh = self.overlap_range
+        if not (0.0 < olow <= ohigh <= 1.0):
+            raise ConfigurationError("overlap_range must satisfy 0 < low <= high <= 1")
+        if not 0.0 <= self.overlap_jitter <= 0.5:
+            raise ConfigurationError("overlap_jitter must lie in [0, 0.5]")
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def quick(cls, seed: int = 7) -> "ExperimentConfig":
+        """A configuration small enough for unit tests and CI smoke runs."""
+        return cls(runs=3, packets_per_run=4, payload_bits=512, seed=seed)
+
+    @classmethod
+    def benchmark(cls, seed: int = 20070823) -> "ExperimentConfig":
+        """The default benchmark size: 40 runs, modest per-run packet count."""
+        return cls(runs=40, packets_per_run=12, seed=seed)
+
+    @classmethod
+    def paper_scale(cls, seed: int = 20070823) -> "ExperimentConfig":
+        """The paper's full workload (slow: 40 runs x 1000 packets/direction)."""
+        return cls(runs=PAPER_NUM_RUNS, packets_per_run=1000, seed=seed)
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Per-run draws
+    # ------------------------------------------------------------------
+    def run_rng(self, run_index: int, stream: int = 0) -> np.random.Generator:
+        """Deterministic random generator for one run (and sub-stream)."""
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, int(run_index), int(stream)])
+        )
+
+    def draw_run_snr(self, rng: np.random.Generator) -> float:
+        """Draw one run's operating SNR."""
+        low, high = self.snr_db_range
+        if low == high:
+            return float(low)
+        return float(rng.uniform(low, high))
+
+    def draw_run_overlap(self, rng: np.random.Generator) -> float:
+        """Draw one run's mean collision overlap."""
+        low, high = self.overlap_range
+        if low == high:
+            return float(low)
+        return float(rng.uniform(low, high))

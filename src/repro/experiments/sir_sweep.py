@@ -1,0 +1,161 @@
+"""Figure 13: BER of ANC decoding versus signal-to-interference ratio.
+
+The paper varies Bob's transmit power while keeping Alice's fixed and
+plots the BER of the packet Alice decodes (Bob's packet) against the SIR
+at Alice, defined as ``10 log10(P_Bob / P_Alice)`` (Eq. 9).  Because Alice
+is cancelling her *own* signal, low SIR means the packet she wants is much
+weaker than the interference she has to remove — the regime where blind
+separation schemes give up (they need ~+6 dB) but ANC still decodes with
+under 5 % BER at −3 dB.
+
+This runner recreates the setup directly: for each SIR point it generates
+collisions between Alice's and Bob's frames through the amplify-and-
+forward relay, decodes Bob's packet at Alice, and averages the payload BER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.interference import InterferenceCombiner, OverlapModel
+from repro.channel.link import Link
+from repro.channel.relay import AmplifyAndForwardRelayChannel
+from repro.experiments.config import ExperimentConfig
+from repro.framing.buffer import SentPacketBuffer
+from repro.framing.frame import Framer
+from repro.framing.packet import Packet
+from repro.anc.pipeline import ReceiveOutcome, ReceivePipeline
+from repro.modulation.msk import MSKModulator
+from repro.protocols.anc import default_min_offset
+from repro.utils.db import db_to_linear
+
+
+@dataclass(frozen=True)
+class SIRPoint:
+    """One point of the Fig. 13 curve."""
+
+    sir_db: float
+    mean_ber: float
+    packets: int
+    decode_failures: int
+
+
+def run_sir_sweep(
+    config: Optional[ExperimentConfig] = None,
+    sir_db_values: Sequence[float] = (-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0, 4.0),
+    packets_per_point: int = 20,
+    snr_db: float = 19.0,
+) -> List[SIRPoint]:
+    """Measure Alice's decoding BER as a function of SIR (Fig. 13).
+
+    Parameters
+    ----------
+    config:
+        Supplies payload size, overlap statistics and the master seed.
+    sir_db_values:
+        The SIR grid; the paper sweeps −3 dB to +4 dB.
+    packets_per_point:
+        Collisions simulated per SIR value.
+    snr_db:
+        Operating SNR of all links during the sweep (power control changes
+        only Bob's transmit power, not the noise).
+    """
+    cfg = config if config is not None else ExperimentConfig()
+    framer = Framer()
+    results: List[SIRPoint] = []
+
+    for point_index, sir_db in enumerate(sir_db_values):
+        rng = cfg.run_rng(1000 + point_index, stream=30)
+        overlap_model = OverlapModel(
+            mean_overlap=cfg.draw_run_overlap(rng),
+            jitter=cfg.overlap_jitter,
+            min_offset=default_min_offset(),
+            rng=rng,
+        )
+        # Alice transmits at unit amplitude; Bob's amplitude realises the
+        # requested SIR at Alice (both go through statistically identical
+        # links, so the transmit-amplitude ratio is the received ratio).
+        bob_amplitude = db_to_linear(sir_db)
+        alice_mod = MSKModulator(amplitude=1.0)
+        bob_mod = MSKModulator(amplitude=bob_amplitude)
+
+        # Noise relative to Alice's received power (attenuation 0.8).
+        noise_power = (0.8 ** 2) / (10.0 ** (snr_db / 10.0))
+
+        bers: List[float] = []
+        failures = 0
+        for packet_index in range(packets_per_point):
+            alice_packet = Packet.random(1, 2, packet_index, cfg.payload_bits, rng)
+            bob_packet = Packet.random(2, 1, 1000 + packet_index, cfg.payload_bits, rng)
+            alice_frame = framer.build(alice_packet)
+            bob_frame = framer.build(bob_packet)
+            alice_wave = alice_mod.modulate(alice_frame.bits)
+            bob_wave = bob_mod.modulate(bob_frame.bits)
+
+            link_alice = Link(
+                attenuation=0.8,
+                phase_shift=float(rng.uniform(-np.pi, np.pi)),
+                frequency_offset=float(rng.uniform(0.01, 0.04)),
+            )
+            link_bob = Link(
+                attenuation=0.8,
+                phase_shift=float(rng.uniform(-np.pi, np.pi)),
+                frequency_offset=-float(rng.uniform(0.01, 0.04)),
+            )
+            combiner = InterferenceCombiner(noise_power=noise_power, rng=rng)
+            _, offset = overlap_model.draw_offsets(len(alice_wave))
+            collision = combiner.combine(
+                [(alice_wave, link_alice, 0), (bob_wave, link_bob, offset)],
+                tail_padding=32,
+            )
+            relay = AmplifyAndForwardRelayChannel(transmit_power=1.0)
+            broadcast = relay.apply(collision.signal)
+            downlink = Link(
+                attenuation=0.8,
+                phase_shift=float(rng.uniform(-np.pi, np.pi)),
+                frequency_offset=float(rng.uniform(-0.02, 0.02)),
+                noise_power=noise_power,
+            )
+            received = downlink.propagate(broadcast, rng=rng)
+
+            buffer = SentPacketBuffer()
+            buffer.store(alice_frame)
+            pipeline = ReceivePipeline(
+                noise_power=noise_power,
+                expected_payload_bits=cfg.payload_bits,
+                known_frames=buffer,
+            )
+            outcome = pipeline.receive(received)
+            if (
+                outcome.outcome != ReceiveOutcome.ANC_DECODED
+                or outcome.packet is None
+                or outcome.packet.payload.size != bob_packet.payload.size
+            ):
+                failures += 1
+                continue
+            bers.append(
+                float(np.mean(outcome.packet.payload != bob_packet.payload))
+            )
+
+        mean_ber = float(np.mean(bers)) if bers else 0.5
+        results.append(
+            SIRPoint(
+                sir_db=float(sir_db),
+                mean_ber=mean_ber,
+                packets=packets_per_point,
+                decode_failures=failures,
+            )
+        )
+    return results
+
+
+def render_sir_table(points: Sequence[SIRPoint]) -> str:
+    """Plain-text rendering of the Fig. 13 curve."""
+    lines = ["SIR (dB) | mean BER | failures"]
+    lines.append("-" * len(lines[0]))
+    for point in points:
+        lines.append(f"{point.sir_db:8.1f} | {point.mean_ber:8.4f} | {point.decode_failures:8d}")
+    return "\n".join(lines)

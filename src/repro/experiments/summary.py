@@ -1,0 +1,86 @@
+"""The §11.3 summary of results.
+
+Runs every figure experiment (at a configurable size) and produces the
+bullet list of headline numbers the paper opens its evaluation with:
+mean gains for each topology, mean BERs, and the lowest SIR at which
+decoding still works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.alice_bob import run_alice_bob_experiment
+from repro.experiments.chain import run_chain_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sir_sweep import SIRPoint, run_sir_sweep
+from repro.experiments.x_topology import run_x_topology_experiment
+from repro.metrics.report import ExperimentReport
+
+
+@dataclass
+class SummaryResult:
+    """All headline numbers of §11.3 in one object."""
+
+    alice_bob: ExperimentReport
+    x_topology: ExperimentReport
+    chain: ExperimentReport
+    sir_points: List[SIRPoint] = field(default_factory=list)
+
+    def rows(self) -> Dict[str, float]:
+        """The summary numbers, keyed the way the benchmarks print them."""
+        rows: Dict[str, float] = {}
+        rows["alice_bob_gain_over_traditional"] = self.alice_bob.comparisons[
+            "traditional"
+        ].mean_gain
+        rows["alice_bob_gain_over_cope"] = self.alice_bob.comparisons["cope"].mean_gain
+        rows["alice_bob_mean_ber"] = self.alice_bob.ber_cdf.mean
+        rows["x_gain_over_traditional"] = self.x_topology.comparisons["traditional"].mean_gain
+        rows["x_gain_over_cope"] = self.x_topology.comparisons["cope"].mean_gain
+        rows["chain_gain_over_traditional"] = self.chain.comparisons["traditional"].mean_gain
+        rows["chain_mean_ber"] = self.chain.ber_cdf.mean
+        if self.sir_points:
+            lowest = min(self.sir_points, key=lambda p: p.sir_db)
+            rows["ber_at_minus3db_sir"] = lowest.mean_ber
+        return rows
+
+    def render(self) -> str:
+        """Plain-text rendering of the summary table."""
+        lines = ["=== Summary of results (paper §11.3) ==="]
+        paper_reference = {
+            "alice_bob_gain_over_traditional": 1.70,
+            "alice_bob_gain_over_cope": 1.30,
+            "alice_bob_mean_ber": 0.04,
+            "x_gain_over_traditional": 1.65,
+            "x_gain_over_cope": 1.28,
+            "chain_gain_over_traditional": 1.36,
+            "chain_mean_ber": 0.015,
+            "ber_at_minus3db_sir": 0.05,
+        }
+        lines.append(f"{'metric':38} | {'measured':>9} | {'paper':>7}")
+        lines.append("-" * 62)
+        for key, value in self.rows().items():
+            reference = paper_reference.get(key, float('nan'))
+            lines.append(f"{key:38} | {value:9.3f} | {reference:7.3f}")
+        return "\n".join(lines)
+
+
+def run_summary(
+    config: Optional[ExperimentConfig] = None,
+    include_sir_sweep: bool = True,
+) -> SummaryResult:
+    """Run every evaluation experiment and collect the §11.3 summary."""
+    cfg = config if config is not None else ExperimentConfig()
+    alice_bob = run_alice_bob_experiment(cfg)
+    x_top = run_x_topology_experiment(cfg)
+    chain = run_chain_experiment(cfg)
+    sir_points: List[SIRPoint] = []
+    if include_sir_sweep:
+        sir_points = run_sir_sweep(cfg, packets_per_point=max(4, cfg.packets_per_run // 2))
+    return SummaryResult(
+        alice_bob=alice_bob,
+        x_topology=x_top,
+        chain=chain,
+        sir_points=sir_points,
+    )

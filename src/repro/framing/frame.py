@@ -1,0 +1,245 @@
+"""Frame layout, framer and deframer.
+
+The over-the-air bit layout of a frame is::
+
+    [ pilot | header | payload_crc (scrambled) | header_rev | pilot_rev ]
+
+* ``pilot`` is the protocol-wide 64-bit PN sequence (§7.2).
+* ``header`` encodes (SrcID, DstID, SeqNo) + CRC-16 (§7.3).
+* ``payload_crc`` is the packet payload with a CRC-16 appended, whitened
+  by the scrambler so the "random bits" assumption of the amplitude
+  estimator holds (§6.2).
+* ``header_rev`` / ``pilot_rev`` are bit-reversed copies so that reading
+  the frame backwards (Bob's direction, §7.4) produces the pilot and the
+  header in their normal order.
+
+The :class:`Framer` builds frames from packets; the :class:`Deframer`
+parses demodulated bits back into packets, in either direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.coding.crc import CRC16, check_and_strip_crc
+from repro.exceptions import FramingError, HeaderError
+from repro.framing.header import Header
+from repro.framing.packet import Packet
+from repro.framing.pilot import PilotSequence
+from repro.scrambler.whitening import Scrambler
+from repro.utils.bits import as_bit_array
+
+
+@dataclass(frozen=True)
+class FrameLayout:
+    """Describes where each field sits within a frame of a given payload size."""
+
+    pilot_length: int
+    header_length: int
+    payload_length: int
+
+    @property
+    def coded_payload_length(self) -> int:
+        """Payload plus its CRC-16."""
+        return self.payload_length + 16
+
+    @property
+    def total_length(self) -> int:
+        """Total frame length in bits."""
+        return 2 * self.pilot_length + 2 * self.header_length + self.coded_payload_length
+
+    @property
+    def pilot_start(self) -> int:
+        return 0
+
+    @property
+    def header_start(self) -> int:
+        return self.pilot_length
+
+    @property
+    def payload_start(self) -> int:
+        return self.pilot_length + self.header_length
+
+    @property
+    def trailing_header_start(self) -> int:
+        return self.payload_start + self.coded_payload_length
+
+    @property
+    def trailing_pilot_start(self) -> int:
+        return self.trailing_header_start + self.header_length
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A fully-built frame: the owning packet plus its over-the-air bits."""
+
+    packet: Packet
+    bits: np.ndarray
+    layout: FrameLayout
+
+    @property
+    def header(self) -> Header:
+        """The header that was embedded in this frame."""
+        return Header(
+            source=self.packet.source,
+            destination=self.packet.destination,
+            sequence=self.packet.sequence,
+        )
+
+    @property
+    def length(self) -> int:
+        return int(self.bits.size)
+
+
+class Framer:
+    """Builds frames from packets (transmit side of Fig. 8)."""
+
+    def __init__(
+        self,
+        pilot: Optional[PilotSequence] = None,
+        scrambler: Optional[Scrambler] = None,
+    ) -> None:
+        self.pilot = pilot if pilot is not None else PilotSequence()
+        self.scrambler = scrambler if scrambler is not None else Scrambler()
+
+    def layout_for(self, payload_length: int) -> FrameLayout:
+        """The frame layout for a packet of the given payload length."""
+        if payload_length < 0:
+            raise FramingError("payload length must be non-negative")
+        return FrameLayout(
+            pilot_length=self.pilot.length,
+            header_length=Header.ENCODED_LENGTH,
+            payload_length=payload_length,
+        )
+
+    def frame_length(self, payload_length: int) -> int:
+        """Total frame length in bits for a payload of the given size."""
+        return self.layout_for(payload_length).total_length
+
+    def build(self, packet: Packet) -> Frame:
+        """Assemble the over-the-air bit sequence for a packet."""
+        header_bits = Header(
+            source=packet.source,
+            destination=packet.destination,
+            sequence=packet.sequence,
+        ).to_bits()
+        payload_with_crc = CRC16.append(packet.payload)
+        scrambled_payload = self.scrambler.scramble(payload_with_crc)
+        pilot_bits = self.pilot.bits
+        bits = np.concatenate(
+            [
+                pilot_bits,
+                header_bits,
+                scrambled_payload,
+                header_bits[::-1],
+                pilot_bits[::-1],
+            ]
+        ).astype(np.uint8)
+        return Frame(packet=packet, bits=bits, layout=self.layout_for(packet.payload_length))
+
+
+@dataclass(frozen=True)
+class DeframeResult:
+    """Outcome of parsing demodulated bits back into a packet."""
+
+    packet: Optional[Packet]
+    header: Optional[Header]
+    payload_crc_ok: bool
+
+    @property
+    def delivered(self) -> bool:
+        """True when both the header and the payload CRC were valid."""
+        return self.packet is not None and self.payload_crc_ok
+
+
+class Deframer:
+    """Parses demodulated frame bits back into packets (receive side of Fig. 8)."""
+
+    def __init__(
+        self,
+        pilot: Optional[PilotSequence] = None,
+        scrambler: Optional[Scrambler] = None,
+    ) -> None:
+        self.pilot = pilot if pilot is not None else PilotSequence()
+        self.scrambler = scrambler if scrambler is not None else Scrambler()
+
+    def _layout(self, total_bits: int) -> FrameLayout:
+        payload_length = (
+            total_bits - 2 * self.pilot.length - 2 * Header.ENCODED_LENGTH - 16
+        )
+        if payload_length < 0:
+            raise FramingError(
+                f"bit stream of length {total_bits} is too short to be a frame"
+            )
+        return FrameLayout(
+            pilot_length=self.pilot.length,
+            header_length=Header.ENCODED_LENGTH,
+            payload_length=payload_length,
+        )
+
+    def parse_header(self, bits, from_end: bool = False) -> Header:
+        """Extract and validate the header from the start (or end) of a frame.
+
+        Parameters
+        ----------
+        bits:
+            The demodulated frame bits (full frame, forward bit order).
+        from_end:
+            When ``True`` the *trailing* header copy is parsed instead of
+            the leading one (what a backward-decoding receiver sees first).
+        """
+        arr = as_bit_array(bits)
+        layout = self._layout(arr.size)
+        if from_end:
+            segment = arr[layout.trailing_header_start : layout.trailing_pilot_start]
+            segment = segment[::-1]
+        else:
+            segment = arr[layout.header_start : layout.payload_start]
+        return Header.from_bits(segment)
+
+    def parse(self, bits) -> DeframeResult:
+        """Parse a full forward-ordered frame bit stream into a packet."""
+        arr = as_bit_array(bits)
+        try:
+            layout = self._layout(arr.size)
+        except FramingError:
+            return DeframeResult(packet=None, header=None, payload_crc_ok=False)
+        try:
+            header = self.parse_header(arr)
+        except HeaderError:
+            return DeframeResult(packet=None, header=None, payload_crc_ok=False)
+        scrambled = arr[layout.payload_start : layout.trailing_header_start]
+        payload_with_crc = self.scrambler.descramble(scrambled)
+        payload, crc_ok = check_and_strip_crc(payload_with_crc)
+        packet = Packet(
+            source=header.source,
+            destination=header.destination,
+            sequence=header.sequence,
+            payload=payload,
+        )
+        return DeframeResult(packet=packet, header=header, payload_crc_ok=crc_ok)
+
+    def parse_backward(self, reversed_bits) -> DeframeResult:
+        """Parse a frame whose bits were decoded back-to-front (§7.4).
+
+        ``reversed_bits`` is what a backward-decoding receiver produces:
+        the frame's bit sequence in reverse order.  Because the trailing
+        pilot and header are bit-reversed copies, simply reversing the
+        stream recovers the forward frame and the normal parser applies.
+        """
+        arr = as_bit_array(reversed_bits)
+        return self.parse(arr[::-1])
+
+    def extract_payload_region(self, bits) -> Tuple[np.ndarray, FrameLayout]:
+        """Return the scrambled payload+CRC region and the inferred layout.
+
+        Used by the evaluation harness to compute raw (pre-FEC) bit error
+        rates over exactly the payload bits, matching the paper's BER
+        metric (§11.2).
+        """
+        arr = as_bit_array(bits)
+        layout = self._layout(arr.size)
+        return arr[layout.payload_start : layout.trailing_header_start], layout

@@ -1,0 +1,87 @@
+"""Frame header: SrcID, DstID, SeqNo protected by CRC-16.
+
+Section 7.3: "we add a header after the pilot sequence that tells Alice the
+source, destination and the sequence number of the packet."  The CRC is our
+addition — decoded headers steer routing decisions (decode vs. amplify vs.
+drop, §7.5), so a node must be able to tell a corrupted header from a valid
+one before acting on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coding.crc import CRC16
+from repro.constants import HEADER_DST_BITS, HEADER_SEQ_BITS, HEADER_SRC_BITS
+from repro.exceptions import HeaderError
+from repro.utils.bits import as_bit_array, bits_from_int, bits_to_int
+
+
+@dataclass(frozen=True)
+class Header:
+    """Addressing header carried at both ends of every frame."""
+
+    source: int
+    destination: int
+    sequence: int
+
+    #: Total encoded length including the CRC-16.
+    ENCODED_LENGTH: int = HEADER_SRC_BITS + HEADER_DST_BITS + HEADER_SEQ_BITS + 16
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.source < (1 << HEADER_SRC_BITS):
+            raise HeaderError(f"source id {self.source} does not fit in {HEADER_SRC_BITS} bits")
+        if not 0 <= self.destination < (1 << HEADER_DST_BITS):
+            raise HeaderError(
+                f"destination id {self.destination} does not fit in {HEADER_DST_BITS} bits"
+            )
+        if not 0 <= self.sequence < (1 << HEADER_SEQ_BITS):
+            raise HeaderError(f"sequence {self.sequence} does not fit in {HEADER_SEQ_BITS} bits")
+
+    def to_bits(self) -> np.ndarray:
+        """Encode the header fields plus CRC-16 as a bit array."""
+        fields = np.concatenate(
+            [
+                bits_from_int(self.source, HEADER_SRC_BITS),
+                bits_from_int(self.destination, HEADER_DST_BITS),
+                bits_from_int(self.sequence, HEADER_SEQ_BITS),
+            ]
+        )
+        return CRC16.append(fields)
+
+    @classmethod
+    def from_bits(cls, bits) -> "Header":
+        """Decode and CRC-validate a header from its encoded bits.
+
+        Raises
+        ------
+        HeaderError
+            If the bit array has the wrong length or the CRC check fails.
+        """
+        arr = as_bit_array(bits)
+        if arr.size != cls.ENCODED_LENGTH:
+            raise HeaderError(
+                f"header must be {cls.ENCODED_LENGTH} bits, got {arr.size}"
+            )
+        if not CRC16.verify(arr):
+            raise HeaderError("header CRC check failed")
+        fields = arr[:-16]
+        src = bits_to_int(fields[:HEADER_SRC_BITS])
+        dst = bits_to_int(fields[HEADER_SRC_BITS : HEADER_SRC_BITS + HEADER_DST_BITS])
+        seq = bits_to_int(fields[HEADER_SRC_BITS + HEADER_DST_BITS :])
+        return cls(source=src, destination=dst, sequence=seq)
+
+    @classmethod
+    def try_from_bits(cls, bits):
+        """Like :meth:`from_bits` but returns ``None`` instead of raising."""
+        try:
+            return cls.from_bits(bits)
+        except HeaderError:
+            return None
+
+    @property
+    def identity(self) -> tuple:
+        """The (source, destination, sequence) triple this header names."""
+        return (self.source, self.destination, self.sequence)

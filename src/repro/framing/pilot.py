@@ -1,0 +1,150 @@
+"""Pilot sequences and pilot search.
+
+Section 7.2: every frame starts with a known 64-bit pseudo-random pilot
+and ends with a mirrored copy of it.  The pilot serves two purposes:
+
+* it lets the receiver find where its *known* signal starts within the
+  received waveform (alignment), and
+* the interference-free pilot at the start (or end, for the second packet)
+  of a partially-overlapped collision is decodable with plain MSK
+  demodulation, which anchors the whole ANC decoding procedure.
+
+``find_pilot`` locates the pilot within a decoded bit stream, tolerating a
+configurable number of bit errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import PILOT_LENGTH_BITS, PILOT_SEED
+from repro.exceptions import ConfigurationError
+from repro.utils.bits import as_bit_array
+from repro.utils.pn import pn_bits
+
+
+@dataclass(frozen=True)
+class PilotSequence:
+    """The protocol-wide known pilot bit pattern.
+
+    All nodes construct the pilot from the same seed, so any receiver can
+    regenerate it locally; nothing about the pilot is packet-specific.
+    """
+
+    length: int = PILOT_LENGTH_BITS
+    seed: int = PILOT_SEED
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ConfigurationError("pilot length must be positive")
+
+    @property
+    def bits(self) -> np.ndarray:
+        """The pilot bit pattern (most-significant generated bit first)."""
+        return pn_bits(self.length, seed=self.seed)
+
+    @property
+    def mirrored_bits(self) -> np.ndarray:
+        """The bit-reversed pilot attached to the end of each frame."""
+        return self.bits[::-1].copy()
+
+    def matches(self, candidate, max_errors: int = 0) -> bool:
+        """Does ``candidate`` equal the pilot up to ``max_errors`` bit flips?"""
+        arr = as_bit_array(candidate)
+        if arr.size != self.length:
+            return False
+        return int(np.count_nonzero(arr != self.bits)) <= max_errors
+
+
+def find_all_pilots(
+    decoded_bits,
+    pilot: PilotSequence,
+    max_errors: int = 4,
+    search_limit: Optional[int] = None,
+) -> list:
+    """Find every candidate pilot position in a decoded bit stream.
+
+    Returns the start indices of all windows within ``max_errors`` of the
+    pilot, best match first (ties broken by earliest position), with
+    overlapping matches suppressed — two true pilots are always at least a
+    pilot-length apart.  A receiver snooping on a collision can see two
+    pilots in its head region (one per colliding frame); trying each
+    candidate and keeping the frame that validates is how the overhearing
+    path locks onto the decodable one.
+    """
+    bits = as_bit_array(decoded_bits)
+    target = pilot.bits
+    n = bits.size
+    if n < pilot.length:
+        return []
+    last_start = n - pilot.length
+    if search_limit is not None:
+        last_start = min(last_start, max(int(search_limit), 0))
+    scored = []
+    for start in range(last_start + 1):
+        window = bits[start : start + pilot.length]
+        errors = int(np.count_nonzero(window != target))
+        if errors <= max_errors:
+            scored.append((errors, start))
+    scored.sort()
+    selected = []
+    for _, start in scored:
+        if all(abs(start - chosen) >= pilot.length for chosen in selected):
+            selected.append(start)
+    return selected
+
+
+def find_pilot(
+    decoded_bits,
+    pilot: PilotSequence,
+    max_errors: int = 4,
+    search_limit: Optional[int] = None,
+) -> Optional[int]:
+    """Locate the pilot within a decoded bit stream.
+
+    Parameters
+    ----------
+    decoded_bits:
+        Bits obtained by standard MSK demodulation of the (start of the)
+        received signal.
+    pilot:
+        The protocol pilot to search for.
+    max_errors:
+        Maximum Hamming distance at which a window still counts as the
+        pilot; a small tolerance makes the search robust to the occasional
+        demodulation error in the interference-free region.
+    search_limit:
+        Only consider candidate start positions below this index (the
+        paper's receiver only needs to search the interference-free head
+        of the signal).
+
+    Returns
+    -------
+    int or None
+        Index of the first bit of the pilot within ``decoded_bits``, or
+        ``None`` if no window matches.
+    """
+    bits = as_bit_array(decoded_bits)
+    target = pilot.bits
+    n = bits.size
+    if n < pilot.length:
+        return None
+    last_start = n - pilot.length
+    if search_limit is not None:
+        last_start = min(last_start, max(int(search_limit), 0))
+    best_index = None
+    best_errors = max_errors + 1
+    for start in range(last_start + 1):
+        window = bits[start : start + pilot.length]
+        errors = int(np.count_nonzero(window != target))
+        if errors < best_errors:
+            best_errors = errors
+            best_index = start
+            if errors == 0:
+                break
+    if best_errors <= max_errors:
+        return best_index
+    return None

@@ -1,0 +1,20 @@
+"""MAC-layer scheduling abstractions.
+
+The paper compares ANC, COPE and traditional routing under an *optimal*
+MAC: "the MAC employs an optimal scheduler and benefits from knowing the
+traffic pattern and the topology.  Thus, the MAC never encounters
+collisions or backoffs" (§11.1).  This package provides the schedule
+representation and the oracle scheduler that the protocol implementations
+use, plus the random-startup-delay model the trigger protocol adds on top
+for deliberately concurrent transmissions.
+"""
+
+from repro.mac.schedule import ScheduledTransmission, Slot, Schedule
+from repro.mac.optimal import OptimalScheduler
+
+__all__ = [
+    "OptimalScheduler",
+    "Schedule",
+    "ScheduledTransmission",
+    "Slot",
+]

@@ -1,0 +1,76 @@
+"""The oracle ("optimal") scheduler of §11.1.
+
+The scheduler knows the topology and the traffic pattern and never causes
+unintended collisions.  Its job in this library is modest but real: given
+a set of transmissions a protocol wants to make, group them into slots
+such that (a) transmissions the protocol marked as deliberately concurrent
+share a slot and (b) everything else gets its own slot, in order.  It also
+draws the random start offsets for concurrent senders via the trigger
+scheduler, because even an oracle MAC cannot synchronise two independent
+radios at sample granularity (§7.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.interference import OverlapModel
+from repro.exceptions import ConfigurationError
+from repro.mac.schedule import Schedule, ScheduledTransmission, Slot
+from repro.node.trigger import Trigger, TriggerScheduler
+
+
+class OptimalScheduler:
+    """Builds collision-free schedules, with deliberate collisions on request."""
+
+    def __init__(
+        self,
+        overlap_model: Optional[OverlapModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.trigger_scheduler = TriggerScheduler(overlap_model=overlap_model, rng=self._rng)
+
+    def sequential(self, transmissions: Sequence[ScheduledTransmission], label: str = "") -> Schedule:
+        """One slot per transmission, in order (the traditional-routing shape)."""
+        schedule = Schedule()
+        for index, transmission in enumerate(transmissions):
+            schedule.append(Slot(transmissions=(transmission,), label=f"{label}#{index}"))
+        return schedule
+
+    def concurrent_slot(
+        self,
+        transmissions: Sequence[ScheduledTransmission],
+        frame_samples: int,
+        issuer: int,
+        label: str = "",
+    ) -> Slot:
+        """Build one deliberately-concurrent slot with trigger-drawn offsets.
+
+        Parameters
+        ----------
+        transmissions:
+            The transmissions that should collide (their ``start_offset``
+            fields are replaced by freshly drawn ones).
+        frame_samples:
+            Length of the frames being transmitted, used to scale the
+            random offsets so the expected overlap matches the model.
+        issuer:
+            The node whose trigger provoked the concurrent transmissions.
+        """
+        if len(transmissions) < 2:
+            raise ConfigurationError("a concurrent slot needs at least two transmissions")
+        trigger = Trigger(issuer=issuer, targets=tuple(t.sender for t in transmissions))
+        offsets = self.trigger_scheduler.schedule(trigger, frame_samples)
+        updated = tuple(
+            ScheduledTransmission(
+                sender=t.sender,
+                packet=t.packet,
+                role=t.role,
+                start_offset=offsets[t.sender],
+            )
+            for t in transmissions
+        )
+        return Slot(transmissions=updated, label=label)

@@ -1,0 +1,80 @@
+"""Schedule representation: who transmits what in which slot.
+
+A :class:`Schedule` is an ordered list of :class:`Slot` objects; each slot
+lists the transmissions that occur concurrently.  The protocols build
+schedules describing their slot structure (4 slots per exchange for
+traditional routing in the Alice–Bob topology, 3 for COPE, 2 for ANC, and
+so on) and the simulator executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.framing.packet import Packet
+
+
+@dataclass(frozen=True)
+class ScheduledTransmission:
+    """A planned transmission: which node sends which packet, and its role."""
+
+    sender: int
+    packet: Optional[Packet] = None
+    role: str = "data"
+    start_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start_offset < 0:
+            raise ConfigurationError("start offsets must be non-negative")
+        if self.role not in {"data", "forward", "relay", "xor", "trigger"}:
+            raise ConfigurationError(f"unknown transmission role {self.role!r}")
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One time slot: a set of concurrent transmissions."""
+
+    transmissions: Tuple[ScheduledTransmission, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.transmissions:
+            raise ConfigurationError("a slot must contain at least one transmission")
+        senders = [t.sender for t in self.transmissions]
+        if len(set(senders)) != len(senders):
+            raise ConfigurationError("a node cannot transmit twice in the same slot")
+
+    @property
+    def senders(self) -> Tuple[int, ...]:
+        return tuple(t.sender for t in self.transmissions)
+
+    @property
+    def is_concurrent(self) -> bool:
+        """True when more than one node transmits (a deliberate collision)."""
+        return len(self.transmissions) > 1
+
+
+@dataclass
+class Schedule:
+    """An ordered sequence of slots."""
+
+    slots: List[Slot] = field(default_factory=list)
+
+    def append(self, slot: Slot) -> None:
+        self.slots.append(slot)
+
+    def extend(self, slots: Sequence[Slot]) -> None:
+        self.slots.extend(slots)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __iter__(self) -> Iterator[Slot]:
+        return iter(self.slots)
+
+    @property
+    def concurrent_slots(self) -> int:
+        """Number of slots with deliberately concurrent transmissions."""
+        return sum(1 for slot in self.slots if slot.is_concurrent)

@@ -1,0 +1,28 @@
+"""Evaluation metrics (§11.2).
+
+The paper reports four metrics: network throughput, gain over the
+traditional approach, gain over COPE, and the bit error rate of
+ANC-decoded packets.  This package aggregates the per-run
+:class:`~repro.protocols.base.RunResult` objects the protocols produce
+into those metrics, builds the CDFs the figures plot, and renders the
+tabular summaries the benchmark harness prints.
+"""
+
+from repro.metrics.ber import ber_cdf, packet_ber, payload_ber_samples
+from repro.metrics.throughput import network_throughput, throughput_gain
+from repro.metrics.gain import GainSample, gain_cdf, pair_runs
+from repro.metrics.report import ComparisonReport, ExperimentReport, format_cdf_table
+
+__all__ = [
+    "ComparisonReport",
+    "ExperimentReport",
+    "GainSample",
+    "ber_cdf",
+    "format_cdf_table",
+    "gain_cdf",
+    "network_throughput",
+    "packet_ber",
+    "pair_runs",
+    "payload_ber_samples",
+    "throughput_gain",
+]

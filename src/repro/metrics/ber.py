@@ -1,0 +1,67 @@
+"""Bit-error-rate metrics.
+
+The paper's BER metric (§11.2) is the fraction of erroneous bits in a
+packet decoded from an interfered signal, computed against the payload
+that was actually sent.  Figures 9(b), 10(b), 12(b) and 13 are CDFs or
+curves of that per-packet quantity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.protocols.base import RunResult
+from repro.utils.bits import as_bit_array
+from repro.utils.cdf import EmpiricalCDF
+
+
+def packet_ber(sent_payload, decoded_payload) -> float:
+    """Per-packet BER between the transmitted and the decoded payload."""
+    sent = as_bit_array(sent_payload)
+    decoded = as_bit_array(decoded_payload)
+    if sent.size == 0:
+        return 0.0
+    if sent.size != decoded.size:
+        raise ConfigurationError("payloads must have equal length to compute BER")
+    return float(np.count_nonzero(sent != decoded)) / sent.size
+
+
+def payload_ber_samples(runs: Iterable[RunResult], include_losses: bool = True) -> List[float]:
+    """Collect every per-packet BER observed across a set of runs.
+
+    Parameters
+    ----------
+    runs:
+        Protocol run results (typically the ANC runs of an experiment).
+    include_losses:
+        When ``True`` (default) packets that could not be decoded at all —
+        recorded as BER 0.5 by the protocols — are kept, matching how the
+        paper's "X"-topology BER CDF shows a heavy tail for packets lost to
+        failed overhearing (Fig. 10b).  Set to ``False`` to look only at
+        packets the decoder actually produced.
+    """
+    samples: List[float] = []
+    for run in runs:
+        for ber in run.packet_bers:
+            if include_losses or ber < 0.5:
+                samples.append(float(ber))
+    return samples
+
+
+def ber_cdf(runs: Iterable[RunResult], include_losses: bool = True) -> EmpiricalCDF:
+    """Empirical CDF of per-packet BER across runs (Figs. 9b / 10b / 12b)."""
+    samples = payload_ber_samples(runs, include_losses=include_losses)
+    if not samples:
+        raise ConfigurationError("no BER samples found in the provided runs")
+    return EmpiricalCDF.from_samples(samples)
+
+
+def mean_ber(runs: Iterable[RunResult], include_losses: bool = False) -> float:
+    """Average per-packet BER across runs (losses excluded by default)."""
+    samples = payload_ber_samples(runs, include_losses=include_losses)
+    if not samples:
+        return 0.0
+    return float(np.mean(samples))

@@ -1,0 +1,55 @@
+"""Throughput metrics.
+
+Network throughput (§11.2) is the sum of the end-to-end throughput of all
+flows.  In this library a run's throughput is useful payload bits divided
+by the air time the run consumed (in samples); since all schemes in a
+comparison use the same modulation and sample rate, ratios of this
+quantity are exactly the paper's throughput gains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.protocols.base import RunResult
+
+
+def network_throughput(run: RunResult) -> float:
+    """Useful delivered bits per sample of air time for one run."""
+    return run.throughput
+
+
+def mean_throughput(runs: Iterable[RunResult]) -> float:
+    """Average throughput across runs of the same scheme."""
+    values = [run.throughput for run in runs]
+    if not values:
+        raise ConfigurationError("at least one run is required")
+    return float(np.mean(values))
+
+
+def throughput_gain(anc_run: RunResult, baseline_run: RunResult) -> float:
+    """Ratio of ANC throughput to a baseline's throughput for paired runs.
+
+    The paper computes the gain "for two consecutive runs in the same
+    topology and for the same traffic pattern" (§11.2); pairing is the
+    caller's responsibility (see :func:`repro.metrics.gain.pair_runs`).
+    """
+    baseline = baseline_run.throughput
+    if baseline <= 0:
+        raise ConfigurationError("baseline throughput must be positive")
+    return anc_run.throughput / baseline
+
+
+def aggregate_delivery_ratio(runs: Iterable[RunResult]) -> float:
+    """Fraction of offered packets delivered across a set of runs."""
+    offered = 0
+    delivered = 0
+    for run in runs:
+        offered += run.packets_offered
+        delivered += run.packets_delivered
+    if offered == 0:
+        return 0.0
+    return delivered / offered

@@ -1,0 +1,76 @@
+"""Binary Phase Shift Keying (BPSK).
+
+802.11's lowest rates use BPSK (§4 of the paper).  BPSK is provided both
+as a standalone scheme and as the underlying alphabet for the differential
+variant that the header decoder can fall back to; the ANC algorithm itself
+is exercised with MSK, matching the paper's prototype.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_TX_AMPLITUDE
+from repro.exceptions import ModulationError
+from repro.modulation.base import BitsLike, Demodulator, ModulationScheme, Modulator
+from repro.signal.samples import ComplexSignal
+from repro.utils.validation import ensure_bit_array, ensure_positive, ensure_positive_int
+
+
+class BPSKModulator(Modulator):
+    """Map bits to antipodal symbols: "1" -> +A, "0" -> -A."""
+
+    def __init__(self, amplitude: float = DEFAULT_TX_AMPLITUDE, samples_per_symbol: int = 1) -> None:
+        self.amplitude = ensure_positive(amplitude, "amplitude")
+        self._samples_per_symbol = ensure_positive_int(samples_per_symbol, "samples_per_symbol")
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return 1
+
+    @property
+    def samples_per_symbol(self) -> int:
+        return self._samples_per_symbol
+
+    def modulate(self, bits: BitsLike) -> ComplexSignal:
+        clean = ensure_bit_array(bits, "bits")
+        symbols = self.amplitude * (2.0 * clean.astype(float) - 1.0)
+        samples = np.repeat(symbols.astype(np.complex128), self._samples_per_symbol)
+        return ComplexSignal(samples)
+
+
+class BPSKDemodulator(Demodulator):
+    """Coherent BPSK demodulation by thresholding the real part.
+
+    A known (or estimated) channel phase can be supplied to derotate the
+    constellation before slicing.
+    """
+
+    def __init__(self, samples_per_symbol: int = 1, channel_phase: float = 0.0) -> None:
+        self._samples_per_symbol = ensure_positive_int(samples_per_symbol, "samples_per_symbol")
+        self.channel_phase = float(channel_phase)
+
+    def demodulate(self, signal: ComplexSignal) -> np.ndarray:
+        samples = signal.samples
+        if samples.size % self._samples_per_symbol != 0:
+            raise ModulationError(
+                "signal length must be a multiple of samples_per_symbol for BPSK demodulation"
+            )
+        derotated = samples * np.exp(-1j * self.channel_phase)
+        symbols = derotated.reshape(-1, self._samples_per_symbol).mean(axis=1)
+        return (symbols.real >= 0).astype(np.uint8)
+
+
+def BPSKScheme(
+    amplitude: float = DEFAULT_TX_AMPLITUDE,
+    samples_per_symbol: int = 1,
+    channel_phase: float = 0.0,
+) -> ModulationScheme:
+    """Construct a paired BPSK modulator/demodulator."""
+    return ModulationScheme(
+        name="bpsk",
+        modulator=BPSKModulator(amplitude=amplitude, samples_per_symbol=samples_per_symbol),
+        demodulator=BPSKDemodulator(
+            samples_per_symbol=samples_per_symbol, channel_phase=channel_phase
+        ),
+    )

@@ -1,0 +1,94 @@
+"""Quadrature Phase Shift Keying (QPSK).
+
+802.11 also uses QPSK (§4).  Gray-mapped QPSK carries two bits per symbol;
+it is included to demonstrate that the library's framing / coding layers
+are modulation-agnostic, and is used by a couple of the ablation benches as
+a contrast to MSK's differential robustness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_TX_AMPLITUDE
+from repro.exceptions import ModulationError
+from repro.modulation.base import BitsLike, Demodulator, ModulationScheme, Modulator
+from repro.signal.samples import ComplexSignal
+from repro.utils.validation import ensure_bit_array, ensure_positive, ensure_positive_int
+
+#: Gray-coded constellation: bit pair -> phase (radians).
+_GRAY_MAP = {
+    (0, 0): np.pi / 4,
+    (0, 1): 3 * np.pi / 4,
+    (1, 1): -3 * np.pi / 4,
+    (1, 0): -np.pi / 4,
+}
+_INVERSE_GRAY = {phase: bits for bits, phase in _GRAY_MAP.items()}
+
+
+class QPSKModulator(Modulator):
+    """Map Gray-coded bit pairs to one of four constellation phases."""
+
+    def __init__(self, amplitude: float = DEFAULT_TX_AMPLITUDE, samples_per_symbol: int = 1) -> None:
+        self.amplitude = ensure_positive(amplitude, "amplitude")
+        self._samples_per_symbol = ensure_positive_int(samples_per_symbol, "samples_per_symbol")
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return 2
+
+    @property
+    def samples_per_symbol(self) -> int:
+        return self._samples_per_symbol
+
+    def modulate(self, bits: BitsLike) -> ComplexSignal:
+        clean = ensure_bit_array(bits, "bits")
+        if clean.size % 2 != 0:
+            raise ModulationError("QPSK requires an even number of bits")
+        pairs = clean.reshape(-1, 2)
+        phases = np.array([_GRAY_MAP[(int(a), int(b))] for a, b in pairs])
+        symbols = self.amplitude * np.exp(1j * phases)
+        return ComplexSignal(np.repeat(symbols, self._samples_per_symbol))
+
+
+class QPSKDemodulator(Demodulator):
+    """Coherent QPSK demodulation by nearest-constellation-point slicing."""
+
+    def __init__(self, samples_per_symbol: int = 1, channel_phase: float = 0.0) -> None:
+        self._samples_per_symbol = ensure_positive_int(samples_per_symbol, "samples_per_symbol")
+        self.channel_phase = float(channel_phase)
+
+    def demodulate(self, signal: ComplexSignal) -> np.ndarray:
+        samples = signal.samples
+        if samples.size % self._samples_per_symbol != 0:
+            raise ModulationError(
+                "signal length must be a multiple of samples_per_symbol for QPSK demodulation"
+            )
+        derotated = samples * np.exp(-1j * self.channel_phase)
+        symbols = derotated.reshape(-1, self._samples_per_symbol).mean(axis=1)
+        bits = np.empty(symbols.size * 2, dtype=np.uint8)
+        constellation_phases = np.array(list(_INVERSE_GRAY.keys()))
+        for i, symbol in enumerate(symbols):
+            distances = np.abs(
+                np.exp(1j * constellation_phases) - symbol / max(np.abs(symbol), 1e-12)
+            )
+            nearest = constellation_phases[int(np.argmin(distances))]
+            pair = _INVERSE_GRAY[nearest]
+            bits[2 * i] = pair[0]
+            bits[2 * i + 1] = pair[1]
+        return bits
+
+
+def QPSKScheme(
+    amplitude: float = DEFAULT_TX_AMPLITUDE,
+    samples_per_symbol: int = 1,
+    channel_phase: float = 0.0,
+) -> ModulationScheme:
+    """Construct a paired QPSK modulator/demodulator."""
+    return ModulationScheme(
+        name="qpsk",
+        modulator=QPSKModulator(amplitude=amplitude, samples_per_symbol=samples_per_symbol),
+        demodulator=QPSKDemodulator(
+            samples_per_symbol=samples_per_symbol, channel_phase=channel_phase
+        ),
+    )

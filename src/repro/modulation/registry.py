@@ -1,0 +1,48 @@
+"""Name-based lookup of modulation schemes.
+
+Experiment configuration files refer to modulations by name ("msk",
+"bpsk", "qpsk"); this registry turns those names into configured
+:class:`~repro.modulation.base.ModulationScheme` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ConfigurationError
+from repro.modulation.base import ModulationScheme
+from repro.modulation.bpsk import BPSKScheme
+from repro.modulation.msk import MSKScheme
+from repro.modulation.qpsk import QPSKScheme
+
+_FACTORIES: Dict[str, Callable[..., ModulationScheme]] = {
+    "msk": MSKScheme,
+    "bpsk": BPSKScheme,
+    "qpsk": QPSKScheme,
+}
+
+
+def available_schemes() -> List[str]:
+    """Names of the registered modulation schemes."""
+    return sorted(_FACTORIES)
+
+
+def get_scheme(name: str, **kwargs) -> ModulationScheme:
+    """Instantiate a modulation scheme by name.
+
+    Keyword arguments are forwarded to the scheme factory (e.g.
+    ``amplitude=0.5`` or ``samples_per_symbol=2``).
+    """
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown modulation scheme {name!r}; available: {', '.join(available_schemes())}"
+        )
+    return _FACTORIES[key](**kwargs)
+
+
+def register_scheme(name: str, factory: Callable[..., ModulationScheme]) -> None:
+    """Register a custom scheme factory under ``name`` (overwrites existing)."""
+    if not name or not isinstance(name, str):
+        raise ConfigurationError("scheme name must be a non-empty string")
+    _FACTORIES[name.lower()] = factory

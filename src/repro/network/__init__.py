@@ -1,0 +1,33 @@
+"""Network layer: topologies, the wireless medium and the slot simulator.
+
+The evaluation runs on three canonical topologies (Alice–Bob, the 3-hop
+chain and the "X"), each described by a :class:`Topology` of nodes and
+directed :class:`~repro.channel.link.Link` parameters.  The
+:class:`WirelessMedium` computes, for every receiver, the superposition of
+all concurrent in-range transmissions plus receiver noise — which is all a
+wireless channel does to colliding packets.  The :class:`SlotSimulator`
+advances a schedule of transmission slots through the medium and hands the
+resulting waveforms to the nodes' receive pipelines.
+"""
+
+from repro.network.topology import Topology
+from repro.network.topologies import (
+    alice_bob_topology,
+    chain_topology,
+    x_topology,
+)
+from repro.network.medium import Transmission, WirelessMedium
+from repro.network.simulator import SlotResult, SlotSimulator
+from repro.network.flows import Flow
+
+__all__ = [
+    "Flow",
+    "SlotResult",
+    "SlotSimulator",
+    "Topology",
+    "Transmission",
+    "WirelessMedium",
+    "alice_bob_topology",
+    "chain_topology",
+    "x_topology",
+]

@@ -1,0 +1,37 @@
+"""Traffic flows.
+
+A :class:`Flow` names a unidirectional stream of packets from a source to
+a destination.  The canonical experiments use one bidirectional pair
+(Alice–Bob), two crossing unidirectional flows ("X") or a single
+unidirectional flow (chain); the experiment runners build the appropriate
+flow sets and hand them to the protocol implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A unidirectional traffic demand."""
+
+    source: int
+    destination: int
+    packets: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ConfigurationError("a flow's source and destination must differ")
+        if self.packets <= 0:
+            raise ConfigurationError("a flow must carry at least one packet")
+
+    @property
+    def reverse(self) -> "Flow":
+        """The same demand in the opposite direction (for 2-way traffic)."""
+        return Flow(source=self.destination, destination=self.source, packets=self.packets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Flow({self.source}->{self.destination}, packets={self.packets})"

@@ -1,0 +1,128 @@
+"""Router decision logic for interfered receptions (§7.5).
+
+A forwarding node that captures an interfered waveform has three options:
+
+* **decode** it with the ANC algorithm, if one of the two colliding
+  packets is already in its buffer (the chain-topology case, where the
+  router forwarded the interfering packet itself one slot earlier);
+* **amplify and forward** it, if it knows neither packet but the two
+  headers show flows heading in opposite directions through it (the
+  Alice–Bob case); or
+* **drop** it otherwise.
+
+:class:`RouterNode` implements that decision on top of the ordinary node's
+receive pipeline, which already extracts both headers from the
+interference-free head and tail of the collision.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set
+
+from repro.anc.pipeline import ReceiveOutcome, ReceiveResult
+from repro.framing.header import Header
+from repro.framing.packet import Packet
+from repro.node.relay import RelayNode
+from repro.signal.samples import ComplexSignal
+
+
+class RouterAction(enum.Enum):
+    """What the router decided to do with a received waveform."""
+
+    DELIVER = "deliver"            # decoded a clean packet addressed onwards
+    DECODE = "decode"              # ANC-decoded an interfered packet
+    AMPLIFY_FORWARD = "amplify_forward"
+    DROP = "drop"
+
+
+@dataclass
+class RouterDecision:
+    """The router's decision plus whatever it produced."""
+
+    action: RouterAction
+    packet: Optional[Packet] = None
+    broadcast: Optional[ComplexSignal] = None
+    receive_result: Optional[ReceiveResult] = None
+    reason: str = ""
+
+
+class RouterNode(RelayNode):
+    """A relay that applies the §7.5 decision procedure to every reception.
+
+    Parameters
+    ----------
+    node_id:
+        The router's identifier.
+    neighbors:
+        Identifiers of the router's radio neighbours; used to check the
+        "headed in opposite directions to its neighbours" condition for
+        amplify-and-forward.
+    """
+
+    def __init__(self, node_id: int, neighbors: Iterable[int] = (), config=None) -> None:
+        super().__init__(node_id, config)
+        self.neighbors: Set[int] = {int(n) for n in neighbors}
+
+    def set_neighbors(self, neighbors: Iterable[int]) -> None:
+        """Update the router's view of its radio neighbourhood."""
+        self.neighbors = {int(n) for n in neighbors}
+
+    # ------------------------------------------------------------------
+    # Decision procedure
+    # ------------------------------------------------------------------
+    def _opposite_directions(self, first: Header, second: Header) -> bool:
+        """Are the two colliding packets crossing this router towards different neighbours?
+
+        The practical check used here: both destinations are (or lead via)
+        distinct neighbours of the router, and the packets travel between
+        different endpoint pairs — i.e. relaying the mixture lets each
+        destination cancel the part it already knows.
+        """
+        if first.destination == second.destination:
+            return False
+        first_ok = first.destination in self.neighbors or first.source in self.neighbors
+        second_ok = second.destination in self.neighbors or second.source in self.neighbors
+        return first_ok and second_ok
+
+    def process(self, waveform: ComplexSignal) -> RouterDecision:
+        """Receive a waveform and decide among decode / amplify-forward / drop."""
+        result = self.receive(waveform)
+
+        if result.outcome == ReceiveOutcome.CLEAN_DECODED and result.delivered:
+            return RouterDecision(
+                action=RouterAction.DELIVER,
+                packet=result.packet,
+                receive_result=result,
+                reason="clean packet decoded",
+            )
+
+        if result.outcome == ReceiveOutcome.ANC_DECODED:
+            return RouterDecision(
+                action=RouterAction.DECODE,
+                packet=result.packet,
+                receive_result=result,
+                reason="one colliding packet was known; decoded the other",
+            )
+
+        if result.outcome == ReceiveOutcome.NEEDS_RELAY:
+            first, second = result.first_header, result.second_header
+            if first is not None and second is not None and self._opposite_directions(first, second):
+                return RouterDecision(
+                    action=RouterAction.AMPLIFY_FORWARD,
+                    broadcast=self.amplify_and_forward(waveform),
+                    receive_result=result,
+                    reason="unknown packets crossing in opposite directions",
+                )
+            return RouterDecision(
+                action=RouterAction.DROP,
+                receive_result=result,
+                reason="unknown packets not crossing this router",
+            )
+
+        return RouterDecision(
+            action=RouterAction.DROP,
+            receive_result=result,
+            reason=result.failure_reason or "nothing decodable",
+        )

@@ -1,0 +1,29 @@
+"""Protocols under comparison (§11.1).
+
+Three forwarding schemes run over the same topologies, nodes, medium and
+optimal MAC, so that throughput differences are intrinsic to the schemes:
+
+* :class:`~repro.protocols.traditional.TraditionalRouting` — store-and-
+  forward routing, one transmission per slot ("No Coding" in the paper).
+* :class:`~repro.protocols.cope.CopeRelayProtocol` — digital network
+  coding: the relay XORs the two packets it holds and broadcasts the XOR
+  (the COPE baseline of [17]).
+* :class:`~repro.protocols.anc.ANCRelayProtocol` /
+  :class:`~repro.protocols.anc.ANCChainProtocol` — analog network coding:
+  deliberately concurrent transmissions, amplify-and-forward relaying
+  (Alice–Bob, "X") or in-place interference decoding (chain).
+"""
+
+from repro.protocols.base import ProtocolRun, RunResult
+from repro.protocols.traditional import TraditionalRouting
+from repro.protocols.cope import CopeRelayProtocol
+from repro.protocols.anc import ANCChainProtocol, ANCRelayProtocol
+
+__all__ = [
+    "ANCChainProtocol",
+    "ANCRelayProtocol",
+    "CopeRelayProtocol",
+    "ProtocolRun",
+    "RunResult",
+    "TraditionalRouting",
+]

@@ -1,0 +1,371 @@
+"""Analog network coding protocols.
+
+Two protocol shapes cover the paper's evaluation:
+
+* :class:`ANCRelayProtocol` — the Alice–Bob and "X" topologies (§2a,
+  §11.4, §11.5).  In slot 1 the two senders transmit *simultaneously*
+  (triggered, with the §7.2 random start offsets); the router receives the
+  collision and, in slot 2, amplifies and rebroadcasts it.  Each
+  destination cancels the component it already knows — its own packet
+  (Alice–Bob) or one it overheard during slot 1 ("X") — and decodes the
+  other.  Two slots deliver two packets.
+
+* :class:`ANCChainProtocol` — the 3-hop chain (§2b, §11.6).  The middle
+  node's forwarding transmission triggers the source and the third node to
+  transmit concurrently in the next slot; the middle node decodes the new
+  packet out of the collision because it forwarded the interfering packet
+  itself one slot earlier, while the destination hears only the third
+  node.  Two slots move each packet three hops.
+
+Both protocols enforce the paper's *incomplete overlap* requirement: the
+default overlap model never lets the second packet start before the first
+packet's pilot and header have gone out interference-free (§7.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.anc.pipeline import ReceiveOutcome, ReceiveResult
+from repro.channel.interference import OverlapModel
+from repro.constants import DEFAULT_ANC_REDUNDANCY_OVERHEAD
+from repro.exceptions import ConfigurationError
+from repro.framing.header import Header
+from repro.framing.packet import Packet
+from repro.framing.pilot import PilotSequence
+from repro.network.flows import Flow
+from repro.network.medium import Transmission
+from repro.network.simulator import SlotSimulator
+from repro.network.topology import Topology
+from repro.protocols.base import ProtocolRun, fresh_run_result, RunResult
+
+
+def default_min_offset(margin_bits: int = 24) -> int:
+    """Smallest collision offset that keeps pilot + header interference-free.
+
+    The paper's randomisation scheme deliberately prevents complete overlap
+    so that the synchronisation fields at the start of the first packet and
+    the end of the second stay clean (§7.2); this returns that minimum in
+    samples (one sample per bit plus a safety margin).
+    """
+    return PilotSequence().length + Header.ENCODED_LENGTH + int(margin_bits)
+
+
+class ANCRelayProtocol(ProtocolRun):
+    """Analog network coding through an amplify-and-forward router."""
+
+    scheme_name = "anc"
+
+    def __init__(
+        self,
+        topology: Topology,
+        relay: int,
+        flow_a: Flow,
+        flow_b: Flow,
+        payload_bits: int = 512,
+        ber_acceptance: float = 0.05,
+        redundancy_overhead: float = DEFAULT_ANC_REDUNDANCY_OVERHEAD,
+        overhearing: bool = False,
+        overlap_model: Optional[OverlapModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        topology_name: str = "alice_bob",
+    ) -> None:
+        super().__init__(
+            topology,
+            payload_bits=payload_bits,
+            ber_acceptance=ber_acceptance,
+            redundancy_overhead=redundancy_overhead,
+            rng=rng,
+        )
+        if flow_a.packets != flow_b.packets:
+            raise ConfigurationError("ANC pairing requires both flows to carry the same packet count")
+        self.relay_id = int(relay)
+        self.flow_a = flow_a
+        self.flow_b = flow_b
+        self.overhearing = bool(overhearing)
+        self.overlap_model = (
+            overlap_model
+            if overlap_model is not None
+            else OverlapModel(rng=self.rng, min_offset=default_min_offset())
+        )
+        self.topology_name = topology_name
+        for node_id in topology.nodes:
+            self.make_node(node_id)
+        self.make_relay(self.relay_id)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute every two-slot exchange and return the run's accounting."""
+        simulator = SlotSimulator(self.topology, rng=self.rng)
+        result = fresh_run_result(self, self.topology_name)
+        for _ in range(self.flow_a.packets):
+            self._run_exchange(simulator, result)
+        result.air_time_samples = simulator.total_air_time
+        result.slots_used = simulator.slots_run
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_exchange(self, simulator: SlotSimulator, result: RunResult) -> None:
+        src_a, dst_a = self.flow_a.source, self.flow_a.destination
+        src_b, dst_b = self.flow_b.source, self.flow_b.destination
+        node_a = self.nodes[src_a]
+        node_b = self.nodes[src_b]
+        packet_a = node_a.make_packet(dst_a, rng=self.rng)
+        packet_b = node_b.make_packet(dst_b, rng=self.rng)
+        result.packets_offered += 2
+
+        # Slot 1: triggered concurrent uplink transmissions.
+        waveform_a = node_a.transmit(packet_a)
+        waveform_b = node_b.transmit(packet_b)
+        frame_samples = len(waveform_a)
+        first_offset, second_offset = self.overlap_model.draw_offsets(frame_samples)
+        if self.rng.uniform() < 0.5:
+            offset_a, offset_b = first_offset, second_offset
+        else:
+            offset_a, offset_b = second_offset, first_offset
+        result.overlap_fractions.append(
+            1.0 - abs(offset_a - offset_b) / frame_samples
+        )
+
+        uplink_receivers = [self.relay_id]
+        if self.overhearing:
+            uplink_receivers.extend([dst_a, dst_b])
+        uplink = simulator.run_slot(
+            [
+                Transmission(sender=src_a, waveform=waveform_a, start_offset=offset_a),
+                Transmission(sender=src_b, waveform=waveform_b, start_offset=offset_b),
+            ],
+            receivers=uplink_receivers,
+        )
+
+        # In the "X" topology the destinations must overhear the uplink
+        # slot to learn the packet they will later cancel.
+        overheard: Dict[int, bool] = {}
+        if self.overhearing:
+            overheard[dst_b] = self._try_overhear(dst_b, uplink.waveform_at(dst_b), packet_a)
+            overheard[dst_a] = self._try_overhear(dst_a, uplink.waveform_at(dst_a), packet_b)
+
+        # Slot 2: the router amplifies the collision and broadcasts it.
+        relay_node = self.nodes[self.relay_id]
+        broadcast = relay_node.amplify_and_forward(uplink.waveform_at(self.relay_id))
+        downlink = simulator.run_slot(
+            [Transmission(sender=self.relay_id, waveform=broadcast)],
+            receivers=[dst_a, dst_b],
+        )
+
+        self._account_destination(
+            result,
+            destination=dst_a,
+            waveform=downlink.waveform_at(dst_a),
+            truth=packet_a,
+            side_available=(not self.overhearing) or overheard.get(dst_a, False),
+        )
+        self._account_destination(
+            result,
+            destination=dst_b,
+            waveform=downlink.waveform_at(dst_b),
+            truth=packet_b,
+            side_available=(not self.overhearing) or overheard.get(dst_b, False),
+        )
+
+    # ------------------------------------------------------------------
+    def _try_overhear(self, listener: int, waveform, truth: Packet) -> bool:
+        """A destination snoops on the concurrent uplink slot ("X" topology).
+
+        The overheard signal may itself be degraded by the other sender's
+        weak cross interference; a failed overhear means the later ANC
+        decode has no known signal to cancel, so that packet is lost —
+        exactly the effect §11.5 blames for the "X" topology's slightly
+        lower gain and heavier BER tail.
+        """
+        node = self.nodes[listener]
+        outcome = node.receive(waveform)
+        if outcome.packet is None or outcome.packet.identity != truth.identity:
+            return False
+        ber = self.packet_ber(outcome.packet, truth)
+        if not self.counts_as_delivered(ber, outcome.crc_ok):
+            return False
+        # Within FEC reach: the corrected copy is the original packet, and
+        # that corrected copy is what the node keeps for cancellation.
+        node.remember_packet(truth if ber > 0 else outcome.packet)
+        return True
+
+    def _account_destination(
+        self,
+        result: RunResult,
+        destination: int,
+        waveform,
+        truth: Packet,
+        side_available: bool,
+    ) -> None:
+        """Decode the relayed collision at one destination and record the outcome."""
+        if not side_available:
+            result.packets_lost += 1
+            result.packet_bers.append(0.5)
+            return
+        outcome = self.nodes[destination].receive(waveform)
+        if outcome.outcome != ReceiveOutcome.ANC_DECODED or outcome.packet is None:
+            result.packets_lost += 1
+            result.packet_bers.append(0.5)
+            return
+        ber = self.packet_ber(outcome.packet, truth)
+        result.packet_bers.append(ber)
+        if self.counts_as_delivered(ber, outcome.crc_ok):
+            result.packets_delivered += 1
+        else:
+            result.packets_lost += 1
+
+
+class ANCChainProtocol(ProtocolRun):
+    """Analog network coding on the 3-hop chain (unidirectional traffic)."""
+
+    scheme_name = "anc"
+
+    def __init__(
+        self,
+        topology: Topology,
+        path: Tuple[int, int, int, int] = (1, 2, 3, 4),
+        packets: int = 20,
+        payload_bits: int = 512,
+        ber_acceptance: float = 0.05,
+        redundancy_overhead: float = DEFAULT_ANC_REDUNDANCY_OVERHEAD,
+        overlap_model: Optional[OverlapModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        topology_name: str = "chain",
+    ) -> None:
+        super().__init__(
+            topology,
+            payload_bits=payload_bits,
+            ber_acceptance=ber_acceptance,
+            redundancy_overhead=redundancy_overhead,
+            rng=rng,
+        )
+        if len(path) != 4:
+            raise ConfigurationError("the chain protocol expects a 4-node path (3 hops)")
+        if packets <= 0:
+            raise ConfigurationError("packets must be positive")
+        self.path = tuple(int(p) for p in path)
+        self.packets = int(packets)
+        self.overlap_model = (
+            overlap_model
+            if overlap_model is not None
+            else OverlapModel(rng=self.rng, min_offset=default_min_offset())
+        )
+        self.topology_name = topology_name
+        for node_id in topology.nodes:
+            self.make_node(node_id)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Pipeline the packets down the chain, two slots per packet."""
+        n1, n2, n3, n4 = self.path
+        node1, node2, node3, node4 = (self.nodes[n] for n in self.path)
+        simulator = SlotSimulator(self.topology, rng=self.rng)
+        result = fresh_run_result(self, self.topology_name)
+
+        packets = [node1.make_packet(n4, rng=self.rng) for _ in range(self.packets)]
+        result.packets_offered = len(packets)
+
+        # Bootstrap: the first packet needs two conventional hops before the
+        # pipeline can run (N1 -> N2, then the steady-state pattern begins).
+        at_n2: Optional[Packet] = None  # packet currently held by N2
+        at_n3: Optional[Packet] = None  # packet currently held by N3
+        next_index = 0
+
+        waveform = node1.transmit(packets[next_index])
+        slot = simulator.run_slot(
+            [Transmission(sender=n1, waveform=waveform)], receivers=[n2]
+        )
+        receive = node2.receive(slot.waveform_at(n2))
+        at_n2 = receive.packet if receive.delivered else None
+        if at_n2 is None:
+            result.packets_lost += 1
+        next_index += 1
+
+        # Steady state: alternate (a) N2 forwards to N3 and (b) N1 + N3
+        # transmit concurrently, until every packet has been injected and
+        # the pipeline has drained.
+        pending_injection = next_index < len(packets)
+        while at_n2 is not None or at_n3 is not None or pending_injection:
+            # Slot (a): N2 forwards its packet to N3 (this transmission also
+            # acts as the trigger for the concurrent slot that follows).
+            if at_n2 is not None:
+                waveform = node2.forward(at_n2)
+                slot = simulator.run_slot(
+                    [Transmission(sender=n2, waveform=waveform)], receivers=[n3]
+                )
+                receive = node3.receive(slot.waveform_at(n3))
+                if receive.delivered and receive.packet is not None:
+                    at_n3 = receive.packet
+                    node3.remember_packet(receive.packet)
+                else:
+                    at_n3 = None
+                    result.packets_lost += 1
+                at_n2 = None
+
+            # Slot (b): N1 sends the next packet while N3 forwards its
+            # packet to N4 — concurrently.
+            transmissions: List[Transmission] = []
+            injected: Optional[Packet] = None
+            frame_samples = None
+            if pending_injection:
+                injected = packets[next_index]
+                wave_new = node1.transmit(injected)
+                frame_samples = len(wave_new)
+            wave_fwd = None
+            if at_n3 is not None:
+                wave_fwd = node3.forward(at_n3)
+                frame_samples = len(wave_fwd)
+
+            if injected is not None and wave_fwd is not None:
+                first_offset, second_offset = self.overlap_model.draw_offsets(frame_samples)
+                result.overlap_fractions.append(
+                    1.0 - abs(first_offset - second_offset) / frame_samples
+                )
+                transmissions.append(
+                    Transmission(sender=n1, waveform=wave_new, start_offset=first_offset)
+                )
+                transmissions.append(
+                    Transmission(sender=n3, waveform=wave_fwd, start_offset=second_offset)
+                )
+            elif injected is not None:
+                transmissions.append(Transmission(sender=n1, waveform=wave_new))
+            elif wave_fwd is not None:
+                transmissions.append(Transmission(sender=n3, waveform=wave_fwd))
+            else:
+                break
+
+            slot = simulator.run_slot(transmissions, receivers=[n2, n4])
+
+            # N4 receives the forwarded packet (it is out of N1's range).
+            if wave_fwd is not None:
+                receive4 = node4.receive(slot.waveform_at(n4))
+                if receive4.delivered and receive4.packet is not None:
+                    result.packets_delivered += 1
+                else:
+                    result.packets_lost += 1
+                at_n3 = None
+
+            # N2 decodes the new packet out of the collision (or cleanly, if
+            # N3 had nothing to forward this round).
+            if injected is not None:
+                receive2 = node2.receive(slot.waveform_at(n2))
+                ber = self.packet_ber(receive2.packet, injected)
+                if receive2.interfered:
+                    result.packet_bers.append(ber)
+                if receive2.packet is not None and self.counts_as_delivered(ber, receive2.crc_ok):
+                    # Forward the *original* payload: in a real system the
+                    # FEC would have repaired the residual errors the BER
+                    # acceptance models.
+                    at_n2 = injected
+                else:
+                    at_n2 = None
+                    result.packets_lost += 1
+                next_index += 1
+                pending_injection = next_index < len(packets)
+
+        result.air_time_samples = simulator.total_air_time
+        result.slots_used = simulator.slots_run
+        return result

@@ -1,0 +1,185 @@
+"""Common machinery for the protocol implementations.
+
+Every protocol run produces a :class:`RunResult`: how many useful payload
+bits reached their destinations, how much air time (in samples) was spent
+delivering them, and the per-packet bit error rates of any packets that
+were decoded out of interference.  Throughput is useful bits per unit air
+time; measuring time in samples makes a partially-overlapped collision
+slot automatically cost more than a perfectly aligned one, which is the
+dominant practical effect behind the gap between ANC's theoretical and
+measured gains (§11.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.constants import DEFAULT_ANC_REDUNDANCY_OVERHEAD
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.framing.packet import Packet
+from repro.network.topology import Topology
+from repro.node.node import Node, NodeConfig
+from repro.node.relay import RelayNode
+from repro.node.router import RouterNode
+from repro.utils.bits import bit_error_rate
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one protocol over one topology for one run."""
+
+    scheme: str
+    topology: str
+    payload_bits: int
+    packets_offered: int = 0
+    packets_delivered: int = 0
+    packets_lost: int = 0
+    air_time_samples: int = 0
+    slots_used: int = 0
+    packet_bers: List[float] = field(default_factory=list)
+    overlap_fractions: List[float] = field(default_factory=list)
+    redundancy_overhead: float = 0.0
+    notes: str = ""
+
+    @property
+    def delivered_payload_bits(self) -> int:
+        """Raw payload bits that reached their destinations."""
+        return self.packets_delivered * self.payload_bits
+
+    @property
+    def useful_bits(self) -> float:
+        """Payload bits after charging the scheme's FEC redundancy overhead."""
+        return self.delivered_payload_bits / (1.0 + self.redundancy_overhead)
+
+    @property
+    def throughput(self) -> float:
+        """Useful bits per sample of air time (the paper's network throughput)."""
+        if self.air_time_samples <= 0:
+            raise SimulationError("run consumed no air time; throughput undefined")
+        return self.useful_bits / self.air_time_samples
+
+    @property
+    def mean_ber(self) -> float:
+        """Mean per-packet BER of interference-decoded packets (0 if none)."""
+        if not self.packet_bers:
+            return 0.0
+        return float(np.mean(self.packet_bers))
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of offered packets that were delivered."""
+        if self.packets_offered == 0:
+            return 0.0
+        return self.packets_delivered / self.packets_offered
+
+    @property
+    def mean_overlap(self) -> float:
+        """Mean fraction of collision overlap observed during the run."""
+        if not self.overlap_fractions:
+            return 0.0
+        return float(np.mean(self.overlap_fractions))
+
+
+class ProtocolRun:
+    """Base class holding the pieces every protocol run needs."""
+
+    #: Name reported in RunResult.scheme; subclasses override.
+    scheme_name = "base"
+
+    def __init__(
+        self,
+        topology: Topology,
+        payload_bits: int = 512,
+        ber_acceptance: float = 0.05,
+        redundancy_overhead: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if payload_bits <= 0:
+            raise ConfigurationError("payload_bits must be positive")
+        if not 0.0 <= ber_acceptance < 0.5:
+            raise ConfigurationError("ber_acceptance must lie in [0, 0.5)")
+        if redundancy_overhead < 0:
+            raise ConfigurationError("redundancy_overhead must be non-negative")
+        self.topology = topology
+        self.payload_bits = int(payload_bits)
+        self.ber_acceptance = float(ber_acceptance)
+        self.redundancy_overhead = float(redundancy_overhead)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.nodes: Dict[int, Node] = {}
+
+    # ------------------------------------------------------------------
+    # Node construction helpers
+    # ------------------------------------------------------------------
+    def _node_config(self, node_id: int) -> NodeConfig:
+        return NodeConfig(
+            payload_bits=self.payload_bits,
+            noise_power=self.topology.noise_power(node_id),
+        )
+
+    def make_node(self, node_id: int) -> Node:
+        """Create (or return the cached) plain node for an id."""
+        if node_id not in self.nodes:
+            self.nodes[node_id] = Node(node_id, self._node_config(node_id))
+        return self.nodes[node_id]
+
+    def make_relay(self, node_id: int) -> RelayNode:
+        """Create (or return the cached) amplify-and-forward relay node.
+
+        If the id is currently bound to a plain node (e.g. because the
+        constructor instantiated every topology node generically first),
+        it is upgraded to a relay.
+        """
+        existing = self.nodes.get(node_id)
+        if not isinstance(existing, RelayNode):
+            self.nodes[node_id] = RelayNode(node_id, self._node_config(node_id))
+        return self.nodes[node_id]
+
+    def make_router(self, node_id: int) -> RouterNode:
+        """Create (or return the cached) decision-making router node.
+
+        As with :meth:`make_relay`, a plain node already registered under
+        this id is upgraded in place.
+        """
+        existing = self.nodes.get(node_id)
+        if not isinstance(existing, RouterNode):
+            self.nodes[node_id] = RouterNode(
+                node_id,
+                neighbors=self.topology.neighbors(node_id),
+                config=self._node_config(node_id),
+            )
+        return self.nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Delivery accounting helpers
+    # ------------------------------------------------------------------
+    def packet_ber(self, decoded: Optional[Packet], truth: Packet) -> float:
+        """Per-packet payload BER; a missing or mis-sized decode counts as 0.5."""
+        if decoded is None or decoded.payload.size != truth.payload.size:
+            return 0.5
+        return bit_error_rate(truth.payload, decoded.payload)
+
+    def counts_as_delivered(self, ber: float, crc_ok: bool) -> bool:
+        """Is a decoded packet considered delivered?
+
+        A packet whose CRC validates is always delivered.  A packet with
+        residual bit errors is delivered when the error rate is within what
+        the scheme's error-correcting redundancy can repair
+        (``ber_acceptance``); this models the extra FEC the paper adds to
+        ANC packets rather than simulating retransmissions.
+        """
+        if crc_ok:
+            return True
+        return ber <= self.ber_acceptance
+
+
+def fresh_run_result(protocol: ProtocolRun, topology_name: str) -> RunResult:
+    """Construct an empty RunResult for a protocol instance."""
+    return RunResult(
+        scheme=protocol.scheme_name,
+        topology=topology_name,
+        payload_bits=protocol.payload_bits,
+        redundancy_overhead=protocol.redundancy_overhead,
+    )

@@ -1,0 +1,12 @@
+"""Data whitening (scrambling).
+
+Section 6.2 of the paper relies on the transmitted bit pattern being
+random so that ``E[cos(theta - phi)] = 0`` holds and the amplitude
+estimator's two equations are valid: "To ensure the bits are random, we
+XOR them with a pseudo-random sequence at the sender, and XOR them again
+with the same sequence at the receiver."
+"""
+
+from repro.scrambler.whitening import Scrambler
+
+__all__ = ["Scrambler"]

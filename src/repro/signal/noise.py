@@ -1,0 +1,54 @@
+"""Additive white Gaussian noise generation.
+
+The capacity analysis (§8) and the simulator both model the receiver noise
+as circularly-symmetric complex Gaussian noise.  ``noise_power`` throughout
+the library refers to the *total* complex noise power ``E[|z|^2]``, i.e.
+each of the real and imaginary components has variance ``noise_power / 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ChannelError
+from repro.signal.samples import ComplexSignal
+from repro.utils.db import db_to_power_ratio
+
+SignalLike = Union[ComplexSignal, np.ndarray]
+
+
+def complex_gaussian_noise(
+    length: int,
+    noise_power: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Generate ``length`` samples of complex AWGN with total power ``noise_power``."""
+    if length < 0:
+        raise ChannelError("noise length must be non-negative")
+    if noise_power < 0:
+        raise ChannelError("noise power must be non-negative")
+    if noise_power == 0 or length == 0:
+        return np.zeros(length, dtype=np.complex128)
+    generator = rng if rng is not None else np.random.default_rng()
+    sigma = np.sqrt(noise_power / 2.0)
+    return generator.normal(0.0, sigma, length) + 1j * generator.normal(0.0, sigma, length)
+
+
+def awgn(
+    signal: SignalLike,
+    noise_power: float,
+    rng: Optional[np.random.Generator] = None,
+) -> ComplexSignal:
+    """Add complex AWGN of the given power to a signal."""
+    samples = signal.samples if isinstance(signal, ComplexSignal) else np.asarray(signal)
+    noisy = samples + complex_gaussian_noise(samples.size, noise_power, rng)
+    return ComplexSignal(noisy)
+
+
+def noise_power_for_snr(signal_power: float, snr_db: float) -> float:
+    """Noise power that yields the requested SNR for a given signal power."""
+    if signal_power <= 0:
+        raise ChannelError("signal power must be positive")
+    return signal_power / db_to_power_ratio(snr_db)

@@ -1,0 +1,169 @@
+"""The :class:`ComplexSignal` container.
+
+A wireless signal in this library is a finite stream of complex baseband
+samples, exactly as the paper describes (§5.1: "we will talk about complex
+samples, of the form ``A_s[n] e^{i theta_s[n]}``").  The container wraps a
+``numpy`` array and offers the handful of derived quantities (amplitude,
+phase, phase differences, energy) that the modulation and ANC layers keep
+recomputing, plus simple slicing and concatenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.angles import phase_difference
+from repro.utils.validation import ensure_complex_array
+
+
+@dataclass(frozen=True)
+class ComplexSignal:
+    """An immutable sequence of complex baseband samples.
+
+    Parameters
+    ----------
+    samples:
+        One-dimensional array (or iterable) of complex values.  The array
+        is copied and frozen, so a ``ComplexSignal`` can be shared freely
+        between nodes without aliasing surprises.
+    """
+
+    samples: np.ndarray
+
+    def __init__(self, samples: Union[np.ndarray, Iterable[complex]]) -> None:
+        arr = ensure_complex_array(samples, "samples")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        object.__setattr__(self, "samples", arr)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "ComplexSignal":
+        """A signal with no samples."""
+        return cls(np.zeros(0, dtype=np.complex128))
+
+    @classmethod
+    def silence(cls, length: int) -> "ComplexSignal":
+        """A signal of ``length`` zero samples (idle channel)."""
+        if length < 0:
+            raise ConfigurationError("silence length must be non-negative")
+        return cls(np.zeros(length, dtype=np.complex128))
+
+    @classmethod
+    def from_polar(cls, amplitude, phase) -> "ComplexSignal":
+        """Build a signal from per-sample amplitude and phase arrays."""
+        amp = np.asarray(amplitude, dtype=float)
+        ph = np.asarray(phase, dtype=float)
+        if amp.ndim == 0:
+            amp = np.full(ph.shape, float(amp))
+        if amp.shape != ph.shape:
+            raise ConfigurationError("amplitude and phase must have the same shape")
+        return cls(amp * np.exp(1j * ph))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    @property
+    def amplitude(self) -> np.ndarray:
+        """Per-sample magnitude ``|s[n]|``."""
+        return np.abs(self.samples)
+
+    @property
+    def phase(self) -> np.ndarray:
+        """Per-sample phase ``arg(s[n])`` in ``(-pi, pi]``."""
+        return np.angle(self.samples)
+
+    @property
+    def energy(self) -> np.ndarray:
+        """Per-sample energy ``|s[n]|^2``."""
+        return np.abs(self.samples) ** 2
+
+    @property
+    def total_energy(self) -> float:
+        """Sum of per-sample energies."""
+        return float(np.sum(self.energy))
+
+    @property
+    def average_power(self) -> float:
+        """Mean per-sample energy (zero for an empty signal)."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.mean(self.energy))
+
+    def phase_differences(self) -> np.ndarray:
+        """Wrapped phase difference between consecutive samples.
+
+        For an MSK signal these are exactly the ±pi/2 steps that carry the
+        bits; for an interfered signal they are what the ANC decoder has to
+        untangle.
+        """
+        ph = self.phase
+        if ph.size < 2:
+            return np.zeros(0, dtype=float)
+        return phase_difference(ph[1:], ph[:-1])
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "ComplexSignal":
+        """Return the sub-signal ``samples[start:stop]``."""
+        return ComplexSignal(self.samples[start:stop])
+
+    def concatenate(self, other: "ComplexSignal") -> "ComplexSignal":
+        """Append ``other`` after this signal."""
+        return ComplexSignal(np.concatenate([self.samples, other.samples]))
+
+    def reversed(self) -> "ComplexSignal":
+        """Time-reversed copy (used by Bob's backward decoding, §7.4)."""
+        return ComplexSignal(self.samples[::-1])
+
+    def padded(self, before: int, after: int) -> "ComplexSignal":
+        """Return a copy with zero samples prepended and appended."""
+        if before < 0 or after < 0:
+            raise ConfigurationError("padding lengths must be non-negative")
+        return ComplexSignal(
+            np.concatenate(
+                [
+                    np.zeros(before, dtype=np.complex128),
+                    self.samples,
+                    np.zeros(after, dtype=np.complex128),
+                ]
+            )
+        )
+
+    def scaled(self, factor: complex) -> "ComplexSignal":
+        """Multiply every sample by ``factor`` (attenuation and/or phase shift)."""
+        return ComplexSignal(self.samples * factor)
+
+    def __add__(self, other: "ComplexSignal") -> "ComplexSignal":
+        """Superpose two signals of identical length (what the channel does)."""
+        if not isinstance(other, ComplexSignal):
+            return NotImplemented
+        if len(self) != len(other):
+            raise ConfigurationError(
+                "signals must have equal length to superpose; use overlap_add for offsets"
+            )
+        return ComplexSignal(self.samples + other.samples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ComplexSignal):
+            return NotImplemented
+        return len(self) == len(other) and bool(np.allclose(self.samples, other.samples))
+
+    def isclose(self, other: "ComplexSignal", tol: float = 1e-9) -> bool:
+        """Approximate equality with an explicit tolerance."""
+        return len(self) == len(other) and bool(
+            np.allclose(self.samples, other.samples, atol=tol)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComplexSignal(n={len(self)}, power={self.average_power:.4g})"

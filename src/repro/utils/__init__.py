@@ -1,0 +1,72 @@
+"""General-purpose helpers shared across the ANC reproduction library.
+
+The utilities are deliberately small and dependency-light: phase / angle
+arithmetic for complex baseband samples, dB conversions, bit packing,
+pseudo-noise sequence generation, sliding-window statistics, and empirical
+CDFs used by the evaluation harness.
+"""
+
+from repro.utils.angles import (
+    phase_difference,
+    principal_angle,
+    unwrap_phase,
+    wrap_angle,
+)
+from repro.utils.bits import (
+    bits_from_bytes,
+    bits_from_int,
+    bits_to_bytes,
+    bits_to_int,
+    bits_to_string,
+    hamming_distance,
+    random_bits,
+    string_to_bits,
+)
+from repro.utils.cdf import EmpiricalCDF
+from repro.utils.db import (
+    db_to_linear,
+    db_to_power_ratio,
+    linear_to_db,
+    power_ratio_to_db,
+    snr_db_from_powers,
+)
+from repro.utils.pn import PNSequence, pn_bits
+from repro.utils.validation import (
+    ensure_bit_array,
+    ensure_complex_array,
+    ensure_in_range,
+    ensure_positive,
+    ensure_probability,
+)
+from repro.utils.windows import moving_average, moving_energy, moving_variance
+
+__all__ = [
+    "EmpiricalCDF",
+    "PNSequence",
+    "bits_from_bytes",
+    "bits_from_int",
+    "bits_to_bytes",
+    "bits_to_int",
+    "bits_to_string",
+    "db_to_linear",
+    "db_to_power_ratio",
+    "ensure_bit_array",
+    "ensure_complex_array",
+    "ensure_in_range",
+    "ensure_positive",
+    "ensure_probability",
+    "hamming_distance",
+    "linear_to_db",
+    "moving_average",
+    "moving_energy",
+    "moving_variance",
+    "phase_difference",
+    "pn_bits",
+    "power_ratio_to_db",
+    "principal_angle",
+    "random_bits",
+    "snr_db_from_powers",
+    "string_to_bits",
+    "unwrap_phase",
+    "wrap_angle",
+]

@@ -1,0 +1,106 @@
+"""Pseudo-noise (PN) sequence generation.
+
+Two parts of the paper rely on pseudo-random bit sequences:
+
+* the 64-bit pilot attached to both ends of every frame (§7.2), which all
+  nodes must be able to regenerate deterministically, and
+* the whitening scrambler (§6.2) that XORs the payload with a PN sequence
+  so the "random bit pattern" assumption behind the amplitude estimator
+  (``E[cos(theta - phi)] = 0``) holds even for structured payloads.
+
+Both are served by a maximal-length LFSR implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Default LFSR feedback taps (1-indexed bit positions from the output end
+#: of the right-shifting register).  Positions (1, 3, 4, 6) realise the
+#: maximal-length polynomial x^16 + x^14 + x^13 + x^11 + 1 under this shift
+#: convention — period 65535 bits.
+DEFAULT_TAPS = (1, 3, 4, 6)
+DEFAULT_REGISTER_BITS = 16
+
+
+class PNSequence:
+    """Fibonacci LFSR pseudo-noise bit generator.
+
+    Parameters
+    ----------
+    seed:
+        Non-zero initial register state.  Two generators constructed with
+        the same seed and taps produce identical output, which is what lets
+        a receiver regenerate the transmitter's pilot and scrambler
+        sequences without any side channel.
+    taps:
+        Feedback tap positions (1-indexed from the output bit).
+    register_bits:
+        Width of the shift register.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        taps: tuple = DEFAULT_TAPS,
+        register_bits: int = DEFAULT_REGISTER_BITS,
+    ) -> None:
+        if register_bits <= 0:
+            raise ConfigurationError("register_bits must be positive")
+        mask = (1 << register_bits) - 1
+        state = seed & mask
+        if state == 0:
+            raise ConfigurationError("LFSR seed must be non-zero modulo the register width")
+        if not taps:
+            raise ConfigurationError("at least one feedback tap is required")
+        if max(taps) > register_bits:
+            raise ConfigurationError("tap positions cannot exceed the register width")
+        self._register_bits = register_bits
+        self._mask = mask
+        self._taps = tuple(sorted(set(int(t) for t in taps), reverse=True))
+        self._initial_state = state
+        self._state = state
+
+    @property
+    def state(self) -> int:
+        """Current register contents."""
+        return self._state
+
+    def reset(self) -> None:
+        """Restore the register to its seed state."""
+        self._state = self._initial_state
+
+    def next_bit(self) -> int:
+        """Advance the register one step and return the output bit."""
+        feedback = 0
+        for tap in self._taps:
+            feedback ^= (self._state >> (tap - 1)) & 1
+        output = self._state & 1
+        self._state = ((self._state >> 1) | (feedback << (self._register_bits - 1))) & self._mask
+        return output
+
+    def bits(self, length: int) -> np.ndarray:
+        """Generate the next ``length`` bits as a canonical bit array."""
+        if length < 0:
+            raise ConfigurationError("length must be non-negative")
+        return np.array([self.next_bit() for _ in range(length)], dtype=np.uint8)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PNSequence(seed={self._initial_state:#x}, taps={self._taps}, "
+            f"register_bits={self._register_bits})"
+        )
+
+
+def pn_bits(length: int, seed: int, taps: tuple = DEFAULT_TAPS) -> np.ndarray:
+    """Convenience wrapper: the first ``length`` bits of a fresh LFSR."""
+    return PNSequence(seed=seed, taps=taps).bits(length)
+
+
+def make_rng(seed: Optional[int]) -> np.random.Generator:
+    """Create a numpy Generator, tolerating ``None`` for nondeterministic use."""
+    return np.random.default_rng(seed)

@@ -1,0 +1,194 @@
+"""Tests for the full interference decoder (forward and backward)."""
+
+import numpy as np
+import pytest
+
+from repro.anc.decoder import DecoderConfig, InterferenceDecoder, SubtractionDecoder
+from repro.channel.interference import InterferenceCombiner
+from repro.channel.link import Link
+from repro.exceptions import DecodingError
+from repro.framing.frame import Framer
+from repro.framing.packet import Packet
+from repro.modulation.msk import MSKModulator
+
+
+def _make_collision(
+    payload_bits=192,
+    offset=110,
+    attenuation_a=0.9,
+    attenuation_b=0.7,
+    noise=1e-3,
+    cfo_a=0.03,
+    cfo_b=-0.02,
+    seed=0,
+    phase_drift=0.0,
+):
+    """Build a two-frame collision plus the ground truth needed to verify decoding."""
+    rng = np.random.default_rng(seed)
+    framer = Framer()
+    packet_a = Packet.random(1, 2, 10, payload_bits, rng)
+    packet_b = Packet.random(2, 1, 20, payload_bits, rng)
+    frame_a = framer.build(packet_a)
+    frame_b = framer.build(packet_b)
+    modulator = MSKModulator(amplitude=1.0)
+    wave_a = modulator.modulate(frame_a.bits)
+    wave_b = modulator.modulate(frame_b.bits)
+    link_a = Link(
+        attenuation=attenuation_a,
+        phase_shift=float(rng.uniform(-np.pi, np.pi)),
+        frequency_offset=cfo_a,
+        phase_drift=phase_drift,
+    )
+    link_b = Link(
+        attenuation=attenuation_b,
+        phase_shift=float(rng.uniform(-np.pi, np.pi)),
+        frequency_offset=cfo_b,
+        phase_drift=phase_drift,
+    )
+    combiner = InterferenceCombiner(noise_power=noise, rng=rng)
+    collision = combiner.combine([(wave_a, link_a, 0), (wave_b, link_b, offset)], tail_padding=24)
+    return collision.signal, frame_a, frame_b, offset
+
+
+class TestForwardDecoding:
+    def test_alice_decodes_bob(self):
+        received, frame_a, frame_b, offset = _make_collision()
+        decoder = InterferenceDecoder()
+        bits, diagnostics = decoder.decode(
+            received, frame_a.bits, known_offset=0, unknown_offset=offset,
+            unknown_n_bits=len(frame_b.bits),
+        )
+        assert np.mean(bits != frame_b.bits) < 0.02
+        assert diagnostics.interfered_bits > 0
+        assert diagnostics.clean_bits > 0
+        assert not diagnostics.reversed_decode
+
+    def test_amplitude_estimate_close_to_truth(self):
+        received, frame_a, frame_b, offset = _make_collision()
+        decoder = InterferenceDecoder()
+        _, diagnostics = decoder.decode(
+            received, frame_a.bits, 0, offset, len(frame_b.bits)
+        )
+        estimate = diagnostics.amplitude_estimate
+        assert estimate.amplitude_a == pytest.approx(0.9, rel=0.1)
+        assert estimate.amplitude_b == pytest.approx(0.7, rel=0.15)
+
+    def test_decodes_when_unknown_is_weaker(self):
+        received, frame_a, frame_b, offset = _make_collision(
+            attenuation_a=1.0, attenuation_b=0.55, seed=1
+        )
+        decoder = InterferenceDecoder()
+        bits, _ = decoder.decode(received, frame_a.bits, 0, offset, len(frame_b.bits))
+        assert np.mean(bits != frame_b.bits) < 0.05
+
+    def test_decodes_when_unknown_is_stronger(self):
+        received, frame_a, frame_b, offset = _make_collision(
+            attenuation_a=0.55, attenuation_b=1.0, seed=2
+        )
+        decoder = InterferenceDecoder()
+        bits, _ = decoder.decode(received, frame_a.bits, 0, offset, len(frame_b.bits))
+        assert np.mean(bits != frame_b.bits) < 0.05
+
+    def test_sigma_estimator_variant(self):
+        received, frame_a, frame_b, offset = _make_collision(seed=3)
+        decoder = InterferenceDecoder(DecoderConfig(amplitude_method="sigma"))
+        bits, _ = decoder.decode(received, frame_a.bits, 0, offset, len(frame_b.bits))
+        assert np.mean(bits != frame_b.bits) < 0.05
+
+    def test_oracle_amplitudes(self):
+        received, frame_a, frame_b, offset = _make_collision(seed=4)
+        decoder = InterferenceDecoder(
+            DecoderConfig(amplitude_method="oracle", amplitude_oracle=(0.9, 0.7))
+        )
+        bits, _ = decoder.decode(received, frame_a.bits, 0, offset, len(frame_b.bits))
+        assert np.mean(bits != frame_b.bits) < 0.02
+
+
+class TestBackwardDecoding:
+    def test_bob_decodes_alice(self):
+        received, frame_a, frame_b, offset = _make_collision(seed=5)
+        decoder = InterferenceDecoder()
+        bits, diagnostics = decoder.decode(
+            received, frame_b.bits, known_offset=offset, unknown_offset=0,
+            unknown_n_bits=len(frame_a.bits),
+        )
+        assert np.mean(bits != frame_a.bits) < 0.02
+        assert diagnostics.reversed_decode
+
+    def test_both_directions_same_collision(self):
+        received, frame_a, frame_b, offset = _make_collision(seed=6)
+        decoder = InterferenceDecoder()
+        bob_bits, _ = decoder.decode(received, frame_a.bits, 0, offset, len(frame_b.bits))
+        alice_bits, _ = decoder.decode(received, frame_b.bits, offset, 0, len(frame_a.bits))
+        assert np.mean(bob_bits != frame_b.bits) < 0.02
+        assert np.mean(alice_bits != frame_a.bits) < 0.02
+
+
+class TestValidation:
+    def test_rejects_zero_unknown_bits(self):
+        received, frame_a, _, offset = _make_collision(seed=7)
+        with pytest.raises(DecodingError):
+            InterferenceDecoder().decode(received, frame_a.bits, 0, offset, 0)
+
+    def test_rejects_negative_offsets(self):
+        received, frame_a, frame_b, offset = _make_collision(seed=8)
+        with pytest.raises(DecodingError):
+            InterferenceDecoder().decode(received, frame_a.bits, -1, offset, len(frame_b.bits))
+
+    def test_rejects_waveform_too_short(self):
+        received, frame_a, frame_b, offset = _make_collision(seed=9)
+        truncated = received.slice(0, 100)
+        with pytest.raises(DecodingError):
+            InterferenceDecoder().decode(truncated, frame_a.bits, 0, offset, len(frame_b.bits))
+
+    def test_rejects_disjoint_packets(self):
+        """No overlap at all means there is nothing for ANC to do."""
+        received, frame_a, frame_b, _ = _make_collision(seed=10)
+        far_offset = len(received) + 100
+        with pytest.raises(DecodingError):
+            InterferenceDecoder().decode(received, frame_a.bits, 0, far_offset, len(frame_b.bits))
+
+    def test_invalid_config(self):
+        with pytest.raises(DecodingError):
+            DecoderConfig(amplitude_method="magic")
+        with pytest.raises(DecodingError):
+            DecoderConfig(amplitude_method="oracle")
+
+
+class TestSubtractionBaseline:
+    def test_subtraction_works_on_static_channel(self):
+        received, frame_a, frame_b, offset = _make_collision(noise=1e-4, cfo_a=0.0, cfo_b=0.0, seed=11)
+        decoder = SubtractionDecoder()
+        bits = decoder.decode(received, frame_a.bits, 0, offset, len(frame_b.bits))
+        assert np.mean(bits != frame_b.bits) < 0.05
+
+    def test_subtraction_degrades_under_drift(self):
+        """The §6 argument: subtraction is fragile once the channel drifts."""
+        kwargs = dict(noise=1e-4, cfo_a=0.0, cfo_b=0.0, attenuation_b=0.45, seed=12)
+        static, frame_a, frame_b, offset = _make_collision(phase_drift=0.0, **kwargs)
+        drifting, frame_a2, frame_b2, offset2 = _make_collision(phase_drift=0.05, **kwargs)
+        decoder = SubtractionDecoder()
+        ber_static = np.mean(
+            decoder.decode(static, frame_a.bits, 0, offset, len(frame_b.bits)) != frame_b.bits
+        )
+        ber_drift = np.mean(
+            decoder.decode(drifting, frame_a2.bits, 0, offset2, len(frame_b2.bits)) != frame_b2.bits
+        )
+        anc = InterferenceDecoder()
+        ber_anc_drift = np.mean(
+            anc.decode(drifting, frame_a2.bits, 0, offset2, len(frame_b2.bits))[0] != frame_b2.bits
+        )
+        assert ber_drift > ber_static
+        assert ber_anc_drift < ber_drift
+
+    def test_subtraction_requires_forward_order(self):
+        received, frame_a, frame_b, offset = _make_collision(seed=13)
+        with pytest.raises(DecodingError):
+            SubtractionDecoder().decode(received, frame_b.bits, offset, 0, len(frame_a.bits))
+
+    def test_subtraction_requires_clean_head(self):
+        received, frame_a, frame_b, _ = _make_collision(seed=14)
+        with pytest.raises(DecodingError):
+            SubtractionDecoder(min_head_samples=8).decode(
+                received, frame_a.bits, 0, 2, len(frame_b.bits)
+            )

@@ -1,0 +1,90 @@
+"""Tests for the CRC implementations."""
+
+import numpy as np
+import pytest
+
+from repro.coding.crc import CRC16, CRC32, append_crc, check_and_strip_crc
+from repro.exceptions import CRCError
+from repro.utils.bits import random_bits
+
+
+class TestCRC16:
+    def test_append_and_verify(self):
+        data = random_bits(120, np.random.default_rng(0))
+        coded = CRC16.append(data)
+        assert coded.size == 120 + 16
+        assert CRC16.verify(coded)
+
+    def test_detects_single_bit_error(self):
+        data = random_bits(120, np.random.default_rng(1))
+        coded = CRC16.append(data)
+        for position in (0, 50, coded.size - 1):
+            corrupted = coded.copy()
+            corrupted[position] ^= 1
+            assert not CRC16.verify(corrupted)
+
+    def test_detects_burst_errors(self):
+        data = random_bits(200, np.random.default_rng(2))
+        coded = CRC16.append(data)
+        corrupted = coded.copy()
+        corrupted[40:52] ^= 1
+        assert not CRC16.verify(corrupted)
+
+    def test_strip_returns_payload(self):
+        data = random_bits(64, np.random.default_rng(3))
+        assert np.array_equal(CRC16.strip(CRC16.append(data)), data)
+
+    def test_strip_raises_on_corruption(self):
+        data = random_bits(64, np.random.default_rng(4))
+        coded = CRC16.append(data)
+        coded[3] ^= 1
+        with pytest.raises(CRCError):
+            CRC16.strip(coded)
+
+    def test_too_short_fails_verification(self):
+        assert not CRC16.verify(random_bits(8, np.random.default_rng(5)))
+
+    def test_deterministic(self):
+        data = random_bits(64, np.random.default_rng(6))
+        assert CRC16.compute(data) == CRC16.compute(data)
+
+    def test_empty_payload(self):
+        coded = CRC16.append(np.array([], dtype=np.uint8))
+        assert coded.size == 16
+        assert CRC16.verify(coded)
+
+
+class TestCRC32:
+    def test_roundtrip(self):
+        data = random_bits(256, np.random.default_rng(7))
+        assert CRC32.verify(CRC32.append(data))
+
+    def test_detects_error(self):
+        data = random_bits(256, np.random.default_rng(8))
+        coded = CRC32.append(data)
+        coded[100] ^= 1
+        assert not CRC32.verify(coded)
+
+
+class TestHelpers:
+    def test_append_crc_default(self):
+        data = random_bits(32, np.random.default_rng(9))
+        assert append_crc(data).size == 48
+
+    def test_check_and_strip_ok(self):
+        data = random_bits(32, np.random.default_rng(10))
+        payload, ok = check_and_strip_crc(append_crc(data))
+        assert ok
+        assert np.array_equal(payload, data)
+
+    def test_check_and_strip_corrupted_does_not_raise(self):
+        data = random_bits(32, np.random.default_rng(11))
+        coded = append_crc(data)
+        coded[0] ^= 1
+        payload, ok = check_and_strip_crc(coded)
+        assert not ok
+        assert payload.size == 32
+
+    def test_check_and_strip_too_short(self):
+        payload, ok = check_and_strip_crc(np.array([1, 0, 1], dtype=np.uint8))
+        assert not ok

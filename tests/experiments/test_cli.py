@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_listed(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["does-not-exist"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["capacity"])
+        assert args.runs == 10
+        assert args.packets == 10
+        assert args.payload_bits == 768
+
+
+class TestMain:
+    def test_capacity_runs_and_prints(self, capsys):
+        assert main(["capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover" in out
+
+    def test_alice_bob_small(self, capsys):
+        assert main(["alice-bob", "--runs", "2", "--packets", "3", "--payload-bits", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09_alice_bob" in out
+        assert "gain" in out
+
+    def test_sir_small(self, capsys):
+        assert main(["sir", "--runs", "1", "--packets", "3", "--payload-bits", "512"]) == 0
+        assert "SIR" in capsys.readouterr().out
+
+    def test_chain_small(self, capsys):
+        assert main(["chain", "--runs", "2", "--packets", "3", "--payload-bits", "512"]) == 0
+        assert "fig12_chain" in capsys.readouterr().out

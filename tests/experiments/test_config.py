@@ -1,0 +1,61 @@
+"""Tests for the experiment configuration."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.runs == 40
+
+    def test_quick_is_small(self):
+        quick = ExperimentConfig.quick()
+        assert quick.runs <= 5
+        assert quick.packets_per_run <= 10
+
+    def test_paper_scale(self):
+        paper = ExperimentConfig.paper_scale()
+        assert paper.packets_per_run == 1000
+
+    def test_with_overrides(self):
+        config = ExperimentConfig().with_overrides(runs=3)
+        assert config.runs == 3
+        assert ExperimentConfig().runs == 40
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(runs=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(packets_per_run=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(payload_bits=100)  # not a multiple of 8
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(snr_db_range=(30.0, 20.0))
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlap_range=(0.9, 0.5))
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(overlap_jitter=0.9)
+
+    def test_run_rng_deterministic(self):
+        config = ExperimentConfig(seed=99)
+        a = config.run_rng(3, stream=1).integers(0, 1000, 5)
+        b = config.run_rng(3, stream=1).integers(0, 1000, 5)
+        c = config.run_rng(3, stream=2).integers(0, 1000, 5)
+        assert list(a) == list(b)
+        assert list(a) != list(c)
+
+    def test_draws_within_ranges(self):
+        config = ExperimentConfig(snr_db_range=(20.0, 25.0), overlap_range=(0.7, 0.9))
+        rng = config.run_rng(0)
+        for _ in range(20):
+            assert 20.0 <= config.draw_run_snr(rng) <= 25.0
+            assert 0.7 <= config.draw_run_overlap(rng) <= 0.9
+
+    def test_degenerate_ranges(self):
+        config = ExperimentConfig(snr_db_range=(25.0, 25.0), overlap_range=(0.8, 0.8))
+        rng = config.run_rng(1)
+        assert config.draw_run_snr(rng) == 25.0
+        assert config.draw_run_overlap(rng) == 0.8

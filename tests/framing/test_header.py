@@ -1,0 +1,57 @@
+"""Tests for the frame header."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import HeaderError
+from repro.framing.header import Header
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        header = Header(source=5, destination=9, sequence=1234)
+        assert Header.from_bits(header.to_bits()) == header
+
+    def test_encoded_length(self):
+        assert Header(1, 2, 3).to_bits().size == Header.ENCODED_LENGTH
+
+    def test_crc_detects_corruption(self):
+        bits = Header(1, 2, 3).to_bits()
+        bits[5] ^= 1
+        with pytest.raises(HeaderError):
+            Header.from_bits(bits)
+
+    def test_try_from_bits_returns_none_on_corruption(self):
+        bits = Header(1, 2, 3).to_bits()
+        bits[0] ^= 1
+        assert Header.try_from_bits(bits) is None
+
+    def test_try_from_bits_ok(self):
+        header = Header(3, 4, 5)
+        assert Header.try_from_bits(header.to_bits()) == header
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(HeaderError):
+            Header.from_bits(np.zeros(10, dtype=np.uint8))
+
+    def test_field_ranges_validated(self):
+        with pytest.raises(HeaderError):
+            Header(source=256, destination=0, sequence=0)
+        with pytest.raises(HeaderError):
+            Header(source=0, destination=256, sequence=0)
+        with pytest.raises(HeaderError):
+            Header(source=0, destination=0, sequence=1 << 16)
+        with pytest.raises(HeaderError):
+            Header(source=-1, destination=0, sequence=0)
+
+    def test_boundary_values(self):
+        header = Header(source=255, destination=255, sequence=(1 << 16) - 1)
+        assert Header.from_bits(header.to_bits()) == header
+
+    def test_identity(self):
+        assert Header(1, 2, 3).identity == (1, 2, 3)
+
+    def test_distinct_headers_have_distinct_bits(self):
+        a = Header(1, 2, 3).to_bits()
+        b = Header(1, 2, 4).to_bits()
+        assert not np.array_equal(a, b)

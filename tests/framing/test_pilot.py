@@ -1,0 +1,95 @@
+"""Tests for pilot sequences and pilot search."""
+
+import numpy as np
+import pytest
+
+from repro.framing.pilot import PilotSequence, find_all_pilots, find_pilot
+from repro.utils.bits import random_bits
+
+
+class TestPilotSequence:
+    def test_default_length(self):
+        assert PilotSequence().bits.size == 64
+
+    def test_deterministic(self):
+        assert np.array_equal(PilotSequence().bits, PilotSequence().bits)
+
+    def test_mirrored(self):
+        pilot = PilotSequence()
+        assert np.array_equal(pilot.mirrored_bits, pilot.bits[::-1])
+
+    def test_matches_exact(self):
+        pilot = PilotSequence()
+        assert pilot.matches(pilot.bits)
+
+    def test_matches_with_tolerance(self):
+        pilot = PilotSequence()
+        noisy = pilot.bits.copy()
+        noisy[0] ^= 1
+        assert not pilot.matches(noisy, max_errors=0)
+        assert pilot.matches(noisy, max_errors=1)
+
+    def test_matches_wrong_length(self):
+        assert not PilotSequence().matches(np.zeros(10, dtype=np.uint8))
+
+
+class TestFindPilot:
+    def test_finds_at_offset(self):
+        pilot = PilotSequence()
+        rng = np.random.default_rng(0)
+        stream = np.concatenate([random_bits(37, rng), pilot.bits, random_bits(50, rng)])
+        assert find_pilot(stream, pilot) == 37
+
+    def test_finds_at_start(self):
+        pilot = PilotSequence()
+        stream = np.concatenate([pilot.bits, random_bits(10, np.random.default_rng(1))])
+        assert find_pilot(stream, pilot) == 0
+
+    def test_tolerates_bit_errors(self):
+        pilot = PilotSequence()
+        corrupted = pilot.bits.copy()
+        corrupted[[3, 17, 40]] ^= 1
+        stream = np.concatenate([random_bits(20, np.random.default_rng(2)), corrupted])
+        assert find_pilot(stream, pilot, max_errors=4) == 20
+
+    def test_returns_none_when_absent(self):
+        pilot = PilotSequence()
+        stream = random_bits(200, np.random.default_rng(3))
+        assert find_pilot(stream, pilot, max_errors=2) is None
+
+    def test_returns_none_for_short_stream(self):
+        assert find_pilot(random_bits(10, np.random.default_rng(4)), PilotSequence()) is None
+
+    def test_search_limit(self):
+        pilot = PilotSequence()
+        stream = np.concatenate([random_bits(100, np.random.default_rng(5)), pilot.bits])
+        assert find_pilot(stream, pilot, search_limit=50) is None
+        assert find_pilot(stream, pilot, search_limit=150) == 100
+
+
+class TestFindAllPilots:
+    def test_finds_two_pilots(self):
+        pilot = PilotSequence()
+        rng = np.random.default_rng(6)
+        stream = np.concatenate(
+            [pilot.bits, random_bits(40, rng), pilot.bits, random_bits(10, rng)]
+        )
+        found = find_all_pilots(stream, pilot)
+        assert set(found) == {0, 104}
+
+    def test_best_match_first(self):
+        pilot = PilotSequence()
+        corrupted = pilot.bits.copy()
+        corrupted[0] ^= 1
+        stream = np.concatenate([corrupted, np.zeros(16, dtype=np.uint8), pilot.bits])
+        found = find_all_pilots(stream, pilot, max_errors=2)
+        assert found[0] == 80  # the exact match outranks the 1-error match
+
+    def test_overlapping_matches_suppressed(self):
+        pilot = PilotSequence()
+        stream = np.concatenate([pilot.bits, pilot.bits])
+        found = find_all_pilots(stream, pilot, max_errors=0)
+        assert found == [0, 64]
+
+    def test_empty_when_absent(self):
+        assert find_all_pilots(random_bits(128, np.random.default_rng(7)), PilotSequence(), max_errors=1) == []

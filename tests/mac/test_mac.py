@@ -1,0 +1,72 @@
+"""Tests for the schedule representation and the oracle scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.framing.packet import Packet
+from repro.mac.optimal import OptimalScheduler
+from repro.mac.schedule import Schedule, ScheduledTransmission, Slot
+
+
+def _tx(sender, role="data"):
+    return ScheduledTransmission(sender=sender, packet=Packet(sender, 9, 0, [1, 0]), role=role)
+
+
+class TestScheduledTransmission:
+    def test_roles_validated(self):
+        with pytest.raises(ConfigurationError):
+            ScheduledTransmission(sender=1, role="broadcast")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScheduledTransmission(sender=1, start_offset=-1)
+
+
+class TestSlot:
+    def test_senders(self):
+        slot = Slot(transmissions=(_tx(1), _tx(2)))
+        assert slot.senders == (1, 2)
+        assert slot.is_concurrent
+
+    def test_single_sender_not_concurrent(self):
+        assert not Slot(transmissions=(_tx(1),)).is_concurrent
+
+    def test_duplicate_sender_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Slot(transmissions=(_tx(1), _tx(1)))
+
+    def test_empty_slot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Slot(transmissions=())
+
+
+class TestSchedule:
+    def test_append_and_iterate(self):
+        schedule = Schedule()
+        schedule.append(Slot(transmissions=(_tx(1),)))
+        schedule.extend([Slot(transmissions=(_tx(2), _tx(3)))])
+        assert len(schedule) == 2
+        assert schedule.concurrent_slots == 1
+        assert [slot.senders for slot in schedule] == [(1,), (2, 3)]
+
+
+class TestOptimalScheduler:
+    def test_sequential_one_slot_per_transmission(self):
+        scheduler = OptimalScheduler(rng=np.random.default_rng(0))
+        schedule = scheduler.sequential([_tx(1), _tx(2), _tx(3)])
+        assert len(schedule) == 3
+        assert schedule.concurrent_slots == 0
+
+    def test_concurrent_slot_draws_offsets(self):
+        scheduler = OptimalScheduler(rng=np.random.default_rng(1))
+        slot = scheduler.concurrent_slot([_tx(1), _tx(2)], frame_samples=800, issuer=0)
+        assert slot.is_concurrent
+        offsets = [t.start_offset for t in slot.transmissions]
+        assert min(offsets) == 0
+        assert max(offsets) > 0
+
+    def test_concurrent_slot_requires_two(self):
+        scheduler = OptimalScheduler(rng=np.random.default_rng(2))
+        with pytest.raises(ConfigurationError):
+            scheduler.concurrent_slot([_tx(1)], frame_samples=800, issuer=0)

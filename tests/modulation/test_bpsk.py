@@ -1,0 +1,38 @@
+"""Tests for the BPSK scheme."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModulationError
+from repro.modulation.bpsk import BPSKDemodulator, BPSKModulator, BPSKScheme
+from repro.utils.bits import random_bits
+
+
+class TestBPSK:
+    def test_roundtrip(self):
+        bits = random_bits(200, np.random.default_rng(0))
+        assert np.array_equal(BPSKScheme().roundtrip(bits), bits)
+
+    def test_antipodal_mapping(self):
+        sig = BPSKModulator(amplitude=2.0).modulate([1, 0])
+        assert sig.samples[0] == pytest.approx(2.0)
+        assert sig.samples[1] == pytest.approx(-2.0)
+
+    def test_oversampling(self):
+        sig = BPSKModulator(samples_per_symbol=3).modulate([1])
+        assert len(sig) == 3
+
+    def test_known_channel_phase_derotation(self):
+        bits = random_bits(64, np.random.default_rng(1))
+        sig = BPSKModulator().modulate(bits).scaled(np.exp(1j * 1.0))
+        decoded = BPSKDemodulator(channel_phase=1.0).demodulate(sig)
+        assert np.array_equal(decoded, bits)
+
+    def test_demod_length_validation(self):
+        from repro.signal.samples import ComplexSignal
+
+        with pytest.raises(ModulationError):
+            BPSKDemodulator(samples_per_symbol=2).demodulate(ComplexSignal([1 + 0j]))
+
+    def test_bits_per_symbol(self):
+        assert BPSKModulator().bits_per_symbol == 1

@@ -1,0 +1,110 @@
+"""Tests for MSK modulation / demodulation (§5 and Fig. 3 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.flat import FlatFadingChannel
+from repro.modulation.msk import (
+    MSKDemodulator,
+    MSKModulator,
+    MSKScheme,
+    expected_phase_differences,
+    msk_phase_trajectory,
+    verify_constant_envelope,
+)
+from repro.utils.bits import random_bits, string_to_bits
+
+
+class TestPhaseTrajectory:
+    def test_fig3_example(self):
+        """The paper's Fig. 3 example: bits 1010111000 step the phase ±pi/2."""
+        bits = string_to_bits("1010111000")
+        trajectory = msk_phase_trajectory(bits)
+        steps = np.diff(trajectory)
+        expected = np.where(bits == 1, np.pi / 2, -np.pi / 2)
+        assert steps == pytest.approx(expected)
+        # After 5 ones and 5 zeros the phase returns to the start.
+        assert trajectory[-1] == pytest.approx(trajectory[0])
+
+    def test_length(self):
+        assert msk_phase_trajectory(np.array([1, 0, 1], dtype=np.uint8)).size == 4
+
+    def test_initial_phase_offset(self):
+        trajectory = msk_phase_trajectory(np.array([1], dtype=np.uint8), initial_phase=0.3)
+        assert trajectory[0] == pytest.approx(0.3)
+        assert trajectory[1] == pytest.approx(0.3 + np.pi / 2)
+
+
+class TestModulator:
+    def test_sample_count(self):
+        mod = MSKModulator()
+        assert len(mod.modulate([1, 0, 1])) == 4  # reference sample + 3
+
+    def test_constant_envelope(self):
+        sig = MSKModulator(amplitude=0.7).modulate(random_bits(128, np.random.default_rng(0)))
+        assert verify_constant_envelope(sig)
+        assert sig.amplitude[0] == pytest.approx(0.7)
+
+    def test_phase_steps_encode_bits(self):
+        bits = string_to_bits("1100")
+        sig = MSKModulator().modulate(bits)
+        diffs = sig.phase_differences()
+        assert diffs == pytest.approx([np.pi / 2, np.pi / 2, -np.pi / 2, -np.pi / 2])
+
+    def test_oversampling_length(self):
+        mod = MSKModulator(samples_per_symbol=4)
+        assert len(mod.modulate([1, 0])) == 9  # 2*4 + reference
+
+    def test_overhead_samples(self):
+        assert MSKModulator().overhead_samples == 1
+
+    def test_samples_for_bits(self):
+        mod = MSKModulator()
+        assert mod.samples_for_bits(10) == 11
+
+
+class TestDemodulator:
+    def test_roundtrip_no_channel(self):
+        bits = random_bits(256, np.random.default_rng(1))
+        scheme = MSKScheme()
+        assert np.array_equal(scheme.roundtrip(bits), bits)
+
+    def test_roundtrip_with_attenuation_and_phase(self):
+        """Eq. 1: demodulation is invariant to channel gain and phase offset."""
+        bits = random_bits(256, np.random.default_rng(2))
+        sig = MSKModulator().modulate(bits)
+        channel = FlatFadingChannel(attenuation=0.3, phase_shift=2.1)
+        received = channel.apply(sig)
+        decoded = MSKDemodulator().demodulate(received)
+        assert np.array_equal(decoded, bits)
+
+    def test_roundtrip_with_small_cfo(self):
+        bits = random_bits(256, np.random.default_rng(3))
+        sig = MSKModulator().modulate(bits)
+        channel = FlatFadingChannel(attenuation=1.0, frequency_offset=0.05)
+        decoded = MSKDemodulator().demodulate(channel.apply(sig))
+        assert np.array_equal(decoded, bits)
+
+    def test_oversampled_roundtrip(self):
+        bits = random_bits(64, np.random.default_rng(4))
+        scheme = MSKScheme(samples_per_symbol=4)
+        assert np.array_equal(scheme.roundtrip(bits), bits)
+
+    def test_short_signal_gives_no_bits(self):
+        from repro.signal.samples import ComplexSignal
+
+        assert MSKDemodulator().demodulate(ComplexSignal([1 + 0j])).size == 0
+
+    def test_soft_decisions_magnitude(self):
+        bits = string_to_bits("10")
+        sig = MSKModulator().modulate(bits)
+        soft = MSKDemodulator().soft_decisions(sig)
+        assert soft == pytest.approx([np.pi / 2, -np.pi / 2])
+
+
+class TestExpectedPhaseDifferences:
+    def test_matches_modulator(self):
+        bits = random_bits(100, np.random.default_rng(5))
+        expected = expected_phase_differences(bits)
+        actual = MSKModulator().modulate(bits).phase_differences()
+        assert actual == pytest.approx(expected)

@@ -1,0 +1,50 @@
+"""Tests for the QPSK scheme."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModulationError
+from repro.modulation.qpsk import QPSKDemodulator, QPSKModulator, QPSKScheme
+from repro.utils.bits import random_bits
+
+
+class TestQPSK:
+    def test_roundtrip(self):
+        bits = random_bits(256, np.random.default_rng(0))
+        assert np.array_equal(QPSKScheme().roundtrip(bits), bits)
+
+    def test_two_bits_per_symbol(self):
+        sig = QPSKModulator().modulate([0, 0, 1, 1])
+        assert len(sig) == 2
+
+    def test_odd_bit_count_rejected(self):
+        with pytest.raises(ModulationError):
+            QPSKModulator().modulate([1, 0, 1])
+
+    def test_constant_envelope(self):
+        sig = QPSKModulator(amplitude=1.5).modulate(random_bits(64, np.random.default_rng(1)))
+        assert np.allclose(np.abs(sig.samples), 1.5)
+
+    def test_gray_mapping_adjacent_symbols_differ_by_one_bit(self):
+        # Walk the constellation in phase order and check Gray property.
+        mod = QPSKModulator()
+        phase_to_bits = {}
+        for pair in ([0, 0], [0, 1], [1, 1], [1, 0]):
+            sig = mod.modulate(pair)
+            phase_to_bits[round(float(np.angle(sig.samples[0])), 3)] = tuple(pair)
+        ordered_phases = sorted(phase_to_bits)
+        for a, b in zip(ordered_phases, ordered_phases[1:]):
+            differing = sum(x != y for x, y in zip(phase_to_bits[a], phase_to_bits[b]))
+            assert differing == 1
+
+    def test_channel_phase_derotation(self):
+        bits = random_bits(32, np.random.default_rng(2))
+        sig = QPSKModulator().modulate(bits).scaled(np.exp(1j * 0.7))
+        decoded = QPSKDemodulator(channel_phase=0.7).demodulate(sig)
+        assert np.array_equal(decoded, bits)
+
+    def test_demod_length_validation(self):
+        from repro.signal.samples import ComplexSignal
+
+        with pytest.raises(ModulationError):
+            QPSKDemodulator(samples_per_symbol=2).demodulate(ComplexSignal([1 + 0j]))

@@ -1,0 +1,55 @@
+"""Tests for the modulation scheme registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ModulationError
+from repro.modulation.base import ModulationScheme
+from repro.modulation.registry import available_schemes, get_scheme, register_scheme
+from repro.modulation.msk import MSKScheme
+from repro.utils.bits import random_bits
+
+
+class TestRegistry:
+    def test_available_schemes(self):
+        names = available_schemes()
+        assert {"msk", "bpsk", "qpsk"} <= set(names)
+
+    def test_get_scheme_case_insensitive(self):
+        assert get_scheme("MSK").name == "msk"
+
+    def test_get_scheme_with_kwargs(self):
+        scheme = get_scheme("msk", amplitude=0.5)
+        assert scheme.modulator.amplitude == pytest.approx(0.5)
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_scheme("ofdm")
+
+    def test_register_custom_scheme(self):
+        register_scheme("msk-osr2", lambda: MSKScheme(samples_per_symbol=2))
+        scheme = get_scheme("msk-osr2")
+        bits = random_bits(32, np.random.default_rng(0))
+        assert np.array_equal(scheme.roundtrip(bits), bits)
+
+    def test_register_invalid_name(self):
+        with pytest.raises(ConfigurationError):
+            register_scheme("", MSKScheme)
+
+    def test_all_registered_schemes_roundtrip(self):
+        bits = random_bits(64, np.random.default_rng(1))
+        for name in ("msk", "bpsk", "qpsk"):
+            scheme = get_scheme(name)
+            assert isinstance(scheme, ModulationScheme)
+            assert np.array_equal(scheme.roundtrip(bits), bits), name
+
+
+class TestModulatorInterface:
+    def test_samples_for_bits_validates_multiple(self):
+        scheme = get_scheme("qpsk")
+        with pytest.raises(ModulationError):
+            scheme.modulator.samples_for_bits(3)
+
+    def test_samples_for_bits_negative(self):
+        with pytest.raises(ModulationError):
+            get_scheme("msk").modulator.samples_for_bits(-1)

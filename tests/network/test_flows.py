@@ -1,0 +1,29 @@
+"""Tests for traffic flow definitions."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.flows import Flow
+
+
+class TestFlow:
+    def test_construction(self):
+        flow = Flow(source=1, destination=2, packets=10)
+        assert flow.source == 1
+        assert flow.packets == 10
+
+    def test_reverse(self):
+        flow = Flow(1, 2, 5)
+        assert flow.reverse == Flow(2, 1, 5)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flow(1, 1, 5)
+
+    def test_zero_packets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flow(1, 2, 0)
+
+    def test_equality(self):
+        assert Flow(1, 2, 3) == Flow(1, 2, 3)
+        assert Flow(1, 2, 3) != Flow(1, 2, 4)

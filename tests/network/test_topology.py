@@ -1,0 +1,111 @@
+"""Tests for the Topology graph."""
+
+import pytest
+
+from repro.channel.link import Link
+from repro.exceptions import TopologyError
+from repro.network.topology import Topology
+
+
+def _triangle():
+    topo = Topology()
+    for node in (1, 2, 3):
+        topo.add_node(node, noise_power=1e-3)
+    topo.add_symmetric_link(1, 2, Link(attenuation=0.8))
+    topo.add_symmetric_link(2, 3, Link(attenuation=0.7))
+    return topo
+
+
+class TestConstruction:
+    def test_nodes_sorted(self):
+        topo = _triangle()
+        assert topo.nodes == [1, 2, 3]
+        assert len(topo) == 3
+
+    def test_contains(self):
+        topo = _triangle()
+        assert 2 in topo
+        assert 9 not in topo
+
+    def test_link_before_node_rejected(self):
+        topo = Topology()
+        topo.add_node(1)
+        with pytest.raises(TopologyError):
+            topo.add_link(1, 2, Link())
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        topo.add_node(1)
+        with pytest.raises(TopologyError):
+            topo.add_link(1, 1, Link())
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().add_node(-1)
+
+    def test_validate_passes_for_wellformed(self):
+        _triangle().validate()
+
+
+class TestQueries:
+    def test_in_range(self):
+        topo = _triangle()
+        assert topo.in_range(1, 2)
+        assert not topo.in_range(1, 3)
+
+    def test_link_lookup(self):
+        topo = _triangle()
+        assert topo.link(1, 2).attenuation == pytest.approx(0.8)
+        with pytest.raises(TopologyError):
+            topo.link(1, 3)
+
+    def test_noise_power(self):
+        topo = _triangle()
+        assert topo.noise_power(1) == pytest.approx(1e-3)
+        with pytest.raises(TopologyError):
+            topo.noise_power(42)
+
+    def test_neighbors(self):
+        topo = _triangle()
+        assert topo.neighbors(2) == [1, 3]
+        with pytest.raises(TopologyError):
+            topo.neighbors(99)
+
+    def test_shortest_path(self):
+        topo = _triangle()
+        assert topo.shortest_path(1, 3) == [1, 2, 3]
+
+    def test_no_route_raises(self):
+        topo = Topology()
+        topo.add_node(1)
+        topo.add_node(2)
+        with pytest.raises(TopologyError):
+            topo.shortest_path(1, 2)
+
+    def test_asymmetric_links(self):
+        topo = Topology()
+        topo.add_node(1)
+        topo.add_node(2)
+        topo.add_symmetric_link(1, 2, Link(attenuation=0.9), Link(attenuation=0.4))
+        assert topo.link(1, 2).attenuation == pytest.approx(0.9)
+        assert topo.link(2, 1).attenuation == pytest.approx(0.4)
+
+
+class TestRoutableLinks:
+    def test_non_routable_excluded_from_paths(self):
+        topo = Topology()
+        for node in (1, 2, 3):
+            topo.add_node(node)
+        topo.add_symmetric_link(1, 2, Link())
+        topo.add_symmetric_link(2, 3, Link())
+        topo.add_link(1, 3, Link(attenuation=0.1), routable=False)
+        assert topo.in_range(1, 3)
+        assert not topo.is_routable(1, 3)
+        assert topo.shortest_path(1, 3) == [1, 2, 3]
+
+    def test_routable_graph_subset(self):
+        topo = Topology()
+        for node in (1, 2):
+            topo.add_node(node)
+        topo.add_link(1, 2, Link(), routable=False)
+        assert topo.routable_graph().number_of_edges() == 0

@@ -1,0 +1,63 @@
+"""Tests for the trigger protocol (§7.6)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.interference import OverlapModel
+from repro.exceptions import ConfigurationError
+from repro.node.trigger import Trigger, TriggerScheduler
+
+
+class TestTrigger:
+    def test_valid_trigger(self):
+        trigger = Trigger(issuer=0, targets=(1, 2))
+        assert trigger.issuer == 0
+        assert trigger.targets == (1, 2)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trigger(issuer=0, targets=())
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trigger(issuer=0, targets=(1, 1))
+
+    def test_self_trigger_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trigger(issuer=1, targets=(1, 2))
+
+
+class TestTriggerScheduler:
+    def test_offsets_for_two_targets(self):
+        scheduler = TriggerScheduler(rng=np.random.default_rng(0))
+        offsets = scheduler.schedule(Trigger(0, (1, 2)), frame_samples=1000)
+        assert set(offsets) == {1, 2}
+        assert min(offsets.values()) == 0
+        assert max(offsets.values()) < 1000
+
+    def test_either_target_can_lead(self):
+        scheduler = TriggerScheduler(rng=np.random.default_rng(1))
+        leaders = set()
+        for _ in range(50):
+            offsets = scheduler.schedule(Trigger(0, (1, 2)), frame_samples=1000)
+            leaders.add(min(offsets, key=offsets.get))
+        assert leaders == {1, 2}
+
+    def test_overlap_statistics_respect_model(self):
+        model = OverlapModel(mean_overlap=0.8, jitter=0.02, rng=np.random.default_rng(2))
+        scheduler = TriggerScheduler(overlap_model=model, rng=np.random.default_rng(2))
+        overlaps = []
+        for _ in range(200):
+            offsets = scheduler.schedule(Trigger(0, (1, 2)), frame_samples=1000)
+            overlaps.append(1.0 - max(offsets.values()) / 1000)
+        assert np.mean(overlaps) == pytest.approx(0.8, abs=0.03)
+
+    def test_three_targets_all_scheduled(self):
+        scheduler = TriggerScheduler(rng=np.random.default_rng(3))
+        offsets = scheduler.schedule(Trigger(0, (1, 2, 3)), frame_samples=500)
+        assert set(offsets) == {1, 2, 3}
+
+    def test_invalid_frame_length(self):
+        scheduler = TriggerScheduler(rng=np.random.default_rng(4))
+        with pytest.raises(ConfigurationError):
+            scheduler.schedule(Trigger(0, (1, 2)), frame_samples=0)

@@ -1,0 +1,98 @@
+"""Tests for the RunResult accounting and ProtocolRun helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.framing.packet import Packet
+from repro.network.topologies import ChannelConditions, alice_bob_topology, RELAY
+from repro.node.relay import RelayNode
+from repro.node.router import RouterNode
+from repro.protocols.base import ProtocolRun, RunResult, fresh_run_result
+
+
+def _result(**kwargs):
+    defaults = dict(scheme="anc", topology="alice_bob", payload_bits=100)
+    defaults.update(kwargs)
+    return RunResult(**defaults)
+
+
+class TestRunResult:
+    def test_useful_bits_charges_redundancy(self):
+        result = _result(packets_delivered=10, redundancy_overhead=0.08)
+        assert result.delivered_payload_bits == 1000
+        assert result.useful_bits == pytest.approx(1000 / 1.08)
+
+    def test_throughput(self):
+        result = _result(packets_delivered=4, air_time_samples=2000)
+        assert result.throughput == pytest.approx(0.2)
+
+    def test_throughput_requires_air_time(self):
+        with pytest.raises(SimulationError):
+            _ = _result(packets_delivered=1).throughput
+
+    def test_mean_ber(self):
+        result = _result(packet_bers=[0.0, 0.02, 0.04])
+        assert result.mean_ber == pytest.approx(0.02)
+        assert _result().mean_ber == 0.0
+
+    def test_delivery_ratio(self):
+        result = _result(packets_offered=10, packets_delivered=7)
+        assert result.delivery_ratio == pytest.approx(0.7)
+        assert _result().delivery_ratio == 0.0
+
+    def test_mean_overlap(self):
+        result = _result(overlap_fractions=[0.8, 0.9])
+        assert result.mean_overlap == pytest.approx(0.85)
+
+
+class TestProtocolRunHelpers:
+    def _protocol(self, seed=0):
+        topo = alice_bob_topology(ChannelConditions(), np.random.default_rng(seed))
+        return ProtocolRun(topo, payload_bits=128, rng=np.random.default_rng(seed))
+
+    def test_make_node_cached(self):
+        protocol = self._protocol()
+        assert protocol.make_node(1) is protocol.make_node(1)
+
+    def test_make_relay_upgrades_plain_node(self):
+        protocol = self._protocol()
+        protocol.make_node(RELAY)
+        relay = protocol.make_relay(RELAY)
+        assert isinstance(relay, RelayNode)
+        assert protocol.make_relay(RELAY) is relay
+
+    def test_make_router_upgrades_plain_node(self):
+        protocol = self._protocol()
+        protocol.make_node(RELAY)
+        router = protocol.make_router(RELAY)
+        assert isinstance(router, RouterNode)
+
+    def test_packet_ber_handles_missing_decode(self):
+        protocol = self._protocol()
+        truth = Packet(1, 2, 0, [1, 0, 1, 0])
+        assert protocol.packet_ber(None, truth) == 0.5
+        assert protocol.packet_ber(Packet(1, 2, 0, [1, 0]), truth) == 0.5
+        assert protocol.packet_ber(Packet(1, 2, 0, [1, 0, 1, 1]), truth) == pytest.approx(0.25)
+
+    def test_counts_as_delivered(self):
+        protocol = self._protocol()
+        assert protocol.counts_as_delivered(0.2, crc_ok=True)
+        assert protocol.counts_as_delivered(0.03, crc_ok=False)
+        assert not protocol.counts_as_delivered(0.2, crc_ok=False)
+
+    def test_validation(self):
+        topo = alice_bob_topology(ChannelConditions(), np.random.default_rng(1))
+        with pytest.raises(ConfigurationError):
+            ProtocolRun(topo, payload_bits=0)
+        with pytest.raises(ConfigurationError):
+            ProtocolRun(topo, ber_acceptance=0.6)
+        with pytest.raises(ConfigurationError):
+            ProtocolRun(topo, redundancy_overhead=-0.1)
+
+    def test_fresh_run_result(self):
+        protocol = self._protocol()
+        result = fresh_run_result(protocol, "alice_bob")
+        assert result.scheme == "base"
+        assert result.topology == "alice_bob"
+        assert result.payload_bits == 128

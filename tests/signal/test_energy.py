@@ -1,0 +1,101 @@
+"""Tests for the energy and interference detectors (§7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DetectionError
+from repro.modulation.msk import MSKModulator
+from repro.signal.energy import (
+    EnergyDetector,
+    InterferenceDetector,
+    average_power,
+    energy_variance,
+    peak_power,
+)
+from repro.signal.noise import awgn
+from repro.signal.ops import overlap_add
+from repro.signal.samples import ComplexSignal
+from repro.utils.bits import random_bits
+
+NOISE = 1e-3
+
+
+def _msk_burst(n_bits=200, amplitude=1.0, seed=0):
+    bits = random_bits(n_bits, np.random.default_rng(seed))
+    return MSKModulator(amplitude=amplitude).modulate(bits)
+
+
+class TestPowerHelpers:
+    def test_average_power(self):
+        assert average_power(ComplexSignal([2.0, 2.0j])) == pytest.approx(4.0)
+
+    def test_peak_power(self):
+        assert peak_power(ComplexSignal([1.0, 3.0j])) == pytest.approx(9.0)
+
+    def test_energy_variance_constant_envelope(self):
+        assert energy_variance(_msk_burst()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_signal_zero(self):
+        assert average_power(ComplexSignal.empty()) == 0.0
+        assert peak_power(ComplexSignal.empty()) == 0.0
+
+
+class TestEnergyDetector:
+    def test_detects_packet_in_noise(self):
+        rng = np.random.default_rng(1)
+        burst = _msk_burst()
+        padded = burst.padded(50, 80)
+        noisy = awgn(padded, NOISE, rng)
+        detection = EnergyDetector(noise_power=NOISE).detect(noisy)
+        assert detection.detected
+        assert abs(detection.start_index - 50) <= 16
+        assert detection.end_index >= 50 + len(burst) - 16
+
+    def test_no_packet_in_pure_noise(self):
+        rng = np.random.default_rng(2)
+        noise_only = awgn(ComplexSignal.silence(400), NOISE, rng)
+        detection = EnergyDetector(noise_power=NOISE).detect(noise_only)
+        assert not detection.detected
+        assert detection.length == 0
+
+    def test_is_busy(self):
+        burst = _msk_burst()
+        assert EnergyDetector(noise_power=NOISE).is_busy(burst)
+
+    def test_empty_signal_raises(self):
+        with pytest.raises(DetectionError):
+            EnergyDetector(noise_power=NOISE).detect(ComplexSignal.empty())
+
+    def test_threshold_power_scales_with_noise(self):
+        detector = EnergyDetector(noise_power=0.01, threshold_db=20.0)
+        assert detector.threshold_power == pytest.approx(1.0)
+
+
+class TestInterferenceDetector:
+    def test_clean_msk_not_flagged(self):
+        rng = np.random.default_rng(3)
+        noisy = awgn(_msk_burst(), NOISE, rng)
+        assert not InterferenceDetector(noise_power=NOISE).detect(noisy)
+
+    def test_collision_flagged(self):
+        rng = np.random.default_rng(4)
+        a = _msk_burst(seed=10)
+        b = _msk_burst(seed=11, amplitude=0.8)
+        collision = overlap_add([(a, 0), (b, 40)])
+        noisy = awgn(collision, NOISE, rng)
+        assert InterferenceDetector(noise_power=NOISE).detect(noisy)
+
+    def test_interference_metric_orders_cases(self):
+        rng = np.random.default_rng(5)
+        detector = InterferenceDetector(noise_power=NOISE)
+        clean = awgn(_msk_burst(seed=20), NOISE, rng)
+        collision = awgn(
+            overlap_add([(_msk_burst(seed=21), 0), (_msk_burst(seed=22, amplitude=0.9), 30)]),
+            NOISE,
+            rng,
+        )
+        assert detector.interference_metric(collision) > detector.interference_metric(clean)
+
+    def test_empty_signal_raises(self):
+        with pytest.raises(DetectionError):
+            InterferenceDetector(noise_power=NOISE).detect(ComplexSignal.empty())

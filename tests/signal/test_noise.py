@@ -1,0 +1,66 @@
+"""Tests for AWGN generation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ChannelError
+from repro.signal.noise import awgn, complex_gaussian_noise, noise_power_for_snr
+from repro.signal.samples import ComplexSignal
+
+
+class TestComplexGaussianNoise:
+    def test_length(self):
+        assert complex_gaussian_noise(100, 0.5).size == 100
+
+    def test_zero_power_is_silent(self):
+        noise = complex_gaussian_noise(50, 0.0)
+        assert np.all(noise == 0)
+
+    def test_power_matches_request(self):
+        rng = np.random.default_rng(0)
+        noise = complex_gaussian_noise(200_000, 0.25, rng)
+        measured = float(np.mean(np.abs(noise) ** 2))
+        assert measured == pytest.approx(0.25, rel=0.05)
+
+    def test_circular_symmetry(self):
+        rng = np.random.default_rng(1)
+        noise = complex_gaussian_noise(100_000, 1.0, rng)
+        assert float(np.mean(noise.real ** 2)) == pytest.approx(0.5, rel=0.1)
+        assert float(np.mean(noise.imag ** 2)) == pytest.approx(0.5, rel=0.1)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ChannelError):
+            complex_gaussian_noise(10, -1.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ChannelError):
+            complex_gaussian_noise(-5, 1.0)
+
+
+class TestAwgn:
+    def test_preserves_length(self):
+        sig = ComplexSignal(np.ones(64, dtype=complex))
+        assert len(awgn(sig, 0.1, np.random.default_rng(2))) == 64
+
+    def test_zero_noise_identity(self):
+        sig = ComplexSignal(np.ones(16, dtype=complex))
+        assert awgn(sig, 0.0) == sig
+
+    def test_snr_after_noise(self):
+        rng = np.random.default_rng(3)
+        sig = ComplexSignal(np.ones(100_000, dtype=complex))
+        noise_power = noise_power_for_snr(1.0, 20.0)
+        noisy = awgn(sig, noise_power, rng)
+        error = noisy.samples - sig.samples
+        measured_snr = 1.0 / float(np.mean(np.abs(error) ** 2))
+        assert 10 * np.log10(measured_snr) == pytest.approx(20.0, abs=0.5)
+
+
+class TestNoisePowerForSnr:
+    def test_simple_values(self):
+        assert noise_power_for_snr(1.0, 10.0) == pytest.approx(0.1)
+        assert noise_power_for_snr(4.0, 3.0) == pytest.approx(4.0 / 10 ** 0.3)
+
+    def test_rejects_non_positive_signal(self):
+        with pytest.raises(ChannelError):
+            noise_power_for_snr(0.0, 10.0)

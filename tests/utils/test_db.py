@@ -1,0 +1,63 @@
+"""Tests for decibel conversion helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.db import (
+    db_to_linear,
+    db_to_power_ratio,
+    linear_to_db,
+    power_ratio_to_db,
+    sir_db_from_powers,
+    snr_db_from_powers,
+)
+
+
+class TestPowerConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_power_ratio(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_ten(self):
+        assert db_to_power_ratio(10.0) == pytest.approx(10.0)
+
+    def test_twenty_db_is_hundred(self):
+        assert db_to_power_ratio(20.0) == pytest.approx(100.0)
+
+    def test_roundtrip(self):
+        for value in (0.1, 1.0, 3.7, 250.0):
+            assert db_to_power_ratio(power_ratio_to_db(value)) == pytest.approx(value)
+
+    def test_negative_ratio_raises(self):
+        with pytest.raises(ConfigurationError):
+            power_ratio_to_db(-1.0)
+
+    def test_array_support(self):
+        out = db_to_power_ratio(np.array([0.0, 10.0]))
+        assert out == pytest.approx([1.0, 10.0])
+
+
+class TestAmplitudeConversions:
+    def test_twenty_db_amplitude_is_ten(self):
+        assert db_to_linear(20.0) == pytest.approx(10.0)
+
+    def test_roundtrip(self):
+        assert linear_to_db(db_to_linear(-3.0)) == pytest.approx(-3.0)
+
+    def test_amplitude_and_power_consistency(self):
+        # Power ratio is amplitude ratio squared.
+        assert db_to_power_ratio(6.0) == pytest.approx(db_to_linear(6.0) ** 2)
+
+
+class TestSNRandSIR:
+    def test_snr_from_powers(self):
+        assert snr_db_from_powers(100.0, 1.0) == pytest.approx(20.0)
+
+    def test_snr_requires_positive_noise(self):
+        with pytest.raises(ConfigurationError):
+            snr_db_from_powers(1.0, 0.0)
+
+    def test_sir_definition_matches_eq9(self):
+        # SIR = 10 log10(P_bob / P_alice); equal powers give 0 dB.
+        assert sir_db_from_powers(1.0, 1.0) == pytest.approx(0.0)
+        assert sir_db_from_powers(0.5, 1.0) == pytest.approx(-3.0103, abs=1e-3)

@@ -1,0 +1,72 @@
+"""Tests for the LFSR pseudo-noise generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.pn import DEFAULT_REGISTER_BITS, PNSequence, pn_bits
+
+
+class TestPNSequence:
+    def test_same_seed_same_bits(self):
+        a = PNSequence(seed=0xBEEF).bits(256)
+        b = PNSequence(seed=0xBEEF).bits(256)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = PNSequence(seed=0xBEEF).bits(256)
+        b = PNSequence(seed=0xCAFE).bits(256)
+        assert not np.array_equal(a, b)
+
+    def test_reset_restores_stream(self):
+        gen = PNSequence(seed=0x1234)
+        first = gen.bits(100)
+        gen.reset()
+        second = gen.bits(100)
+        assert np.array_equal(first, second)
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PNSequence(seed=0)
+
+    def test_seed_reduced_modulo_register_rejected_if_zero(self):
+        with pytest.raises(ConfigurationError):
+            PNSequence(seed=1 << DEFAULT_REGISTER_BITS)
+
+    def test_bits_are_binary(self):
+        bits = PNSequence(seed=0x7777).bits(1000)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_roughly_balanced(self):
+        bits = PNSequence(seed=0x2468).bits(4096)
+        ones = int(bits.sum())
+        assert 0.45 * 4096 < ones < 0.55 * 4096
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PNSequence(seed=1).bits(-1)
+
+    def test_maximal_length_period(self):
+        # A maximal-length 16-bit LFSR revisits its initial state only
+        # after 2^16 - 1 steps.
+        gen = PNSequence(seed=0x0001)
+        initial = gen.state
+        period = 0
+        while True:
+            gen.next_bit()
+            period += 1
+            if gen.state == initial:
+                break
+            assert period <= (1 << 16)
+        assert period == (1 << 16) - 1
+
+    def test_invalid_taps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PNSequence(seed=1, taps=())
+        with pytest.raises(ConfigurationError):
+            PNSequence(seed=1, taps=(40,), register_bits=16)
+
+
+class TestPnBits:
+    def test_matches_class(self):
+        assert np.array_equal(pn_bits(64, seed=0xABCD), PNSequence(seed=0xABCD).bits(64))

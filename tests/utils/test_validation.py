@@ -1,0 +1,81 @@
+"""Tests for input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import (
+    ensure_bit_array,
+    ensure_complex_array,
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_non_negative_int,
+    ensure_positive,
+    ensure_positive_int,
+    ensure_probability,
+)
+
+
+class TestScalarValidators:
+    def test_ensure_positive_accepts(self):
+        assert ensure_positive(2.5, "x") == 2.5
+
+    def test_ensure_positive_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            ensure_positive(0, "x")
+
+    def test_ensure_positive_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            ensure_positive(True, "x")
+
+    def test_ensure_non_negative(self):
+        assert ensure_non_negative(0, "x") == 0.0
+        with pytest.raises(ConfigurationError):
+            ensure_non_negative(-0.1, "x")
+
+    def test_ensure_probability(self):
+        assert ensure_probability(0.5, "p") == 0.5
+        with pytest.raises(ConfigurationError):
+            ensure_probability(1.2, "p")
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range(3, 1, 5, "x") == 3.0
+        with pytest.raises(ConfigurationError):
+            ensure_in_range(6, 1, 5, "x")
+
+    def test_ensure_positive_int(self):
+        assert ensure_positive_int(4, "n") == 4
+        with pytest.raises(ConfigurationError):
+            ensure_positive_int(0, "n")
+        with pytest.raises(ConfigurationError):
+            ensure_positive_int(2.5, "n")
+
+    def test_ensure_non_negative_int(self):
+        assert ensure_non_negative_int(0, "n") == 0
+        with pytest.raises(ConfigurationError):
+            ensure_non_negative_int(-1, "n")
+
+    def test_numpy_integers_accepted(self):
+        assert ensure_positive_int(np.int64(3), "n") == 3
+
+
+class TestArrayValidators:
+    def test_bit_array_accepts_binary(self):
+        out = ensure_bit_array([0, 1, 1])
+        assert out.dtype == np.uint8
+
+    def test_bit_array_rejects_other_values(self):
+        with pytest.raises(ConfigurationError):
+            ensure_bit_array([0, 1, 3])
+
+    def test_bit_array_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            ensure_bit_array(np.zeros((2, 2), dtype=int))
+
+    def test_complex_array_accepts_real(self):
+        out = ensure_complex_array([1.0, 2.0])
+        assert out.dtype == np.complex128
+
+    def test_complex_array_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            ensure_complex_array(np.zeros((2, 2)))

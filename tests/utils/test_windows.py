@@ -1,0 +1,71 @@
+"""Tests for sliding-window statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.windows import block_mean, moving_average, moving_energy, moving_variance
+
+
+class TestMovingAverage:
+    def test_constant_input(self):
+        out = moving_average(np.full(10, 3.0), window=4)
+        assert out == pytest.approx(np.full(10, 3.0))
+
+    def test_output_length_matches_input(self):
+        assert moving_average(np.arange(17, dtype=float), 5).size == 17
+
+    def test_ramp_up_uses_partial_windows(self):
+        out = moving_average(np.array([2.0, 4.0, 6.0]), window=2)
+        assert out == pytest.approx([2.0, 3.0, 5.0])
+
+    def test_window_larger_than_input(self):
+        out = moving_average(np.array([1.0, 2.0, 3.0]), window=10)
+        assert out[-1] == pytest.approx(2.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            moving_average(np.ones(4), 0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            moving_average(np.array([]), 3)
+
+
+class TestMovingEnergy:
+    def test_constant_envelope_signal(self):
+        samples = 2.0 * np.exp(1j * np.linspace(0, 10, 50))
+        out = moving_energy(samples, window=8)
+        assert out == pytest.approx(np.full(50, 4.0))
+
+    def test_energy_step_detected(self):
+        samples = np.concatenate([np.zeros(20), np.ones(20)]).astype(complex)
+        out = moving_energy(samples, window=4)
+        assert out[10] == pytest.approx(0.0)
+        assert out[-1] == pytest.approx(1.0)
+
+
+class TestMovingVariance:
+    def test_constant_input_zero_variance(self):
+        out = moving_variance(np.full(30, 5.0), window=6)
+        assert np.all(out <= 1e-12)
+
+    def test_alternating_input_positive_variance(self):
+        values = np.tile([0.0, 2.0], 20)
+        out = moving_variance(values, window=8)
+        assert out[-1] == pytest.approx(1.0)
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(3)
+        out = moving_variance(rng.normal(size=200), window=16)
+        assert np.all(out >= 0)
+
+
+class TestBlockMean:
+    def test_exact_blocks(self):
+        out = block_mean(np.array([1.0, 3.0, 5.0, 7.0]), block=2)
+        assert out == pytest.approx([2.0, 6.0])
+
+    def test_partial_trailing_block(self):
+        out = block_mean(np.array([1.0, 1.0, 4.0]), block=2)
+        assert out == pytest.approx([1.0, 4.0])

@@ -18,11 +18,47 @@ from repro.experiments.config import ExperimentConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: The checked-in reference outputs under ``benchmarks/results/`` were
+#: generated at the default benchmark size; regression against them is
+#: only meaningful when the size has not been overridden via environment.
+IS_DEFAULT_BENCH_SIZE = (
+    "ANC_BENCH_RUNS" not in os.environ and "ANC_BENCH_PACKETS" not in os.environ
+)
 
-def write_result(name: str, text: str) -> Path:
-    """Persist a regenerated figure's text rendering under benchmarks/results/."""
+
+def write_result(name: str, text: str, check_reference: bool = True) -> Path:
+    """Persist a regenerated figure's text rendering under benchmarks/results/.
+
+    When a reference rendering is already checked in for ``name`` and the
+    benchmark runs at the default size, the regenerated text must match it
+    byte-for-byte — every figure runner is seeded, so any drift means a
+    code change altered the reproduced numbers (e.g. an engine refactor
+    that was supposed to be bit-identical was not).  On a mismatch the
+    checked-in reference is left untouched (so the guard keeps failing on
+    re-runs rather than comparing the drifted text against itself) and the
+    regenerated rendering is written to ``<name>.rejected.txt`` for
+    inspection.  After an *intentional* change, regenerate the references
+    with ``ANC_UPDATE_RESULTS=1``.  Pass ``check_reference=False`` for
+    renderings that are expected to change (e.g. timings).
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
+    update = os.environ.get("ANC_UPDATE_RESULTS") == "1"
+    if (
+        check_reference
+        and IS_DEFAULT_BENCH_SIZE
+        and not update
+        and path.is_file()
+        and path.read_text() != text + "\n"
+    ):
+        rejected = RESULTS_DIR / f"{name}.rejected.txt"
+        rejected.write_text(text + "\n")
+        raise AssertionError(
+            f"{name} no longer matches its checked-in reference rendering: "
+            f"the seeded experiment output drifted (regenerated text kept at "
+            f"{rejected}; rerun with ANC_UPDATE_RESULTS=1 if the change is "
+            f"intentional)"
+        )
     path.write_text(text + "\n")
     return path
 

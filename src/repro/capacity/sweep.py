@@ -47,6 +47,16 @@ class CapacityCurve:
         return float(np.interp(snr_db, self.snr_db, self.gain))
 
 
+def validate_snr_grid(snr_db_values: Sequence[float]) -> np.ndarray:
+    """Validate and normalise an SNR grid (non-empty, strictly increasing)."""
+    grid = np.asarray(list(snr_db_values), dtype=float)
+    if grid.size == 0:
+        raise CapacityError("the SNR grid must not be empty")
+    if np.any(np.diff(grid) <= 0):
+        raise CapacityError("the SNR grid must be strictly increasing")
+    return grid
+
+
 def capacity_sweep(
     snr_db_values: Sequence[float] = None,
     alpha: float = DEFAULT_ALPHA,
@@ -63,11 +73,7 @@ def capacity_sweep(
     """
     if snr_db_values is None:
         snr_db_values = np.arange(0.0, 56.0, 1.0)
-    grid = np.asarray(list(snr_db_values), dtype=float)
-    if grid.size == 0:
-        raise CapacityError("the SNR grid must not be empty")
-    if np.any(np.diff(grid) <= 0):
-        raise CapacityError("the SNR grid must be strictly increasing")
+    grid = validate_snr_grid(snr_db_values)
     traditional = traditional_capacity_upper_bound(grid, alpha)
     anc = anc_capacity_lower_bound(grid, alpha)
     gain = capacity_gain(grid, alpha)

@@ -10,6 +10,14 @@ custom size::
     python -m repro.cli capacity
     python -m repro.cli sir --seed 3
     python -m repro.cli summary --runs 5 --packets 6
+
+Monte-Carlo trials execute through the
+:class:`~repro.experiments.engine.ExperimentEngine`: ``--workers N`` fans
+them out over ``N`` processes (bit-identical to serial, just faster), and
+``--resume`` caches completed trials on disk so an interrupted paper-scale
+sweep picks up where it left off::
+
+    python -m repro.cli alice-bob --runs 40 --packets 1000 --workers 8 --resume
 """
 
 from __future__ import annotations
@@ -18,25 +26,13 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.experiments.alice_bob import run_alice_bob_experiment
-from repro.experiments.capacity_fig7 import render_capacity_table, run_capacity_experiment
-from repro.experiments.chain import run_chain_experiment
+from repro.exceptions import ConfigurationError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.sir_sweep import render_sir_table, run_sir_sweep
-from repro.experiments.snr_sweep import render_snr_table, run_snr_sweep
-from repro.experiments.summary import run_summary
-from repro.experiments.x_topology import run_x_topology_experiment
+from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine
+from repro.experiments.runner import RUNNERS
 
 #: Experiment names accepted on the command line, with the figure they map to.
-EXPERIMENTS = {
-    "capacity": "Fig. 7  — capacity bounds vs SNR",
-    "alice-bob": "Fig. 9  — Alice-Bob topology",
-    "x": "Fig. 10 — the X topology",
-    "chain": "Fig. 12 — chain topology",
-    "sir": "Fig. 13 — BER vs SIR",
-    "snr": "extension — gain and BER vs operating SNR",
-    "summary": "§11.3  — summary of results",
-}
+EXPERIMENTS = {name: spec.description for name, spec in RUNNERS.items()}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +53,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--payload-bits", type=int, default=768, help="payload size in bits (default 768)"
     )
     parser.add_argument("--seed", type=int, default=20070823, help="master random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the trial engine (default 1 = serial; "
+        "parallel output is bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="cache completed trials to disk and reuse them on the next "
+        f"invocation (default cache: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="trial-cache directory (implies --resume when set)",
+    )
     return parser
 
 
@@ -69,28 +84,23 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.resume:
+        cache_dir = DEFAULT_CACHE_DIR
+    return ExperimentEngine(workers=args.workers, cache_dir=cache_dir)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.experiment == "capacity":
-        print(render_capacity_table(run_capacity_experiment()))
-        return 0
-    config = _config_from_args(args)
-    if args.experiment == "alice-bob":
-        print(run_alice_bob_experiment(config).render())
-    elif args.experiment == "x":
-        print(run_x_topology_experiment(config).render())
-    elif args.experiment == "chain":
-        print(run_chain_experiment(config).render())
-    elif args.experiment == "sir":
-        print(render_sir_table(run_sir_sweep(config, packets_per_point=args.packets)))
-    elif args.experiment == "snr":
-        print(render_snr_table(run_snr_sweep(config)))
-    elif args.experiment == "summary":
-        print(run_summary(config).render())
-    else:  # pragma: no cover - argparse's choices already prevent this
-        print(f"unknown experiment {args.experiment!r}", file=sys.stderr)
+    try:
+        config = _config_from_args(args)
+        engine = _engine_from_args(args)
+    except ConfigurationError as error:
+        print(f"anc-repro: error: {error}", file=sys.stderr)
         return 2
+    print(RUNNERS[args.experiment].run(config, engine))
     return 0
 
 

@@ -15,9 +15,15 @@ Each module reproduces one figure:
 
 All runners are deterministic given an :class:`ExperimentConfig` seed and
 scale from quick CI-sized runs to paper-scale runs by changing the config.
+Their Monte-Carlo trials execute through the
+:class:`~repro.experiments.engine.ExperimentEngine`, which fans them out
+across process workers and caches completed trials to disk — pass
+``engine=ExperimentEngine(workers=8, cache_dir=...)`` to any runner to
+parallelise or resume a sweep with bit-identical results.
 """
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import EngineStats, ExperimentEngine
 from repro.experiments.alice_bob import run_alice_bob_experiment
 from repro.experiments.x_topology import run_x_topology_experiment
 from repro.experiments.chain import run_chain_experiment
@@ -25,11 +31,18 @@ from repro.experiments.sir_sweep import SIRPoint, run_sir_sweep
 from repro.experiments.snr_sweep import SNRPoint, run_snr_sweep
 from repro.experiments.capacity_fig7 import run_capacity_experiment
 from repro.experiments.summary import run_summary
+from repro.experiments.runner import RUNNERS, RunnerSpec, available_runners, get_runner
 
 __all__ = [
+    "EngineStats",
     "ExperimentConfig",
+    "ExperimentEngine",
+    "RUNNERS",
+    "RunnerSpec",
     "SIRPoint",
     "SNRPoint",
+    "available_runners",
+    "get_runner",
     "run_alice_bob_experiment",
     "run_capacity_experiment",
     "run_chain_experiment",

@@ -12,12 +12,13 @@ traditional approach and ~30 % over COPE, with most packets below 4 % BER.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.channel.interference import OverlapModel
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import ExperimentEngine, default_engine
 from repro.metrics.ber import ber_cdf
 from repro.metrics.gain import pair_runs
 from repro.metrics.report import ComparisonReport, ExperimentReport
@@ -29,64 +30,86 @@ from repro.protocols.cope import CopeRelayProtocol
 from repro.protocols.traditional import TraditionalRouting
 
 
-def run_alice_bob_experiment(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
-    """Run the Fig. 9 experiment and return its report."""
+def run_alice_bob_trial(
+    cfg: ExperimentConfig, run_index: int
+) -> Tuple[RunResult, RunResult, RunResult]:
+    """Execute one Fig. 9 testbed run under all three schemes.
+
+    Top-level (hence picklable) so the :class:`ExperimentEngine` can
+    dispatch it to process workers; all randomness derives from
+    ``cfg.run_rng(run_index, ...)`` substreams, so the result does not
+    depend on which worker executes the trial or in what order.
+
+    Returns the ``(traditional, cope, anc)`` run results.
+    """
+    topo_rng = cfg.run_rng(run_index, stream=0)
+    snr_db = cfg.draw_run_snr(topo_rng)
+    mean_overlap = cfg.draw_run_overlap(topo_rng)
+    conditions = ChannelConditions(snr_db=snr_db)
+    topology = alice_bob_topology(conditions, topo_rng)
+    flow_a = Flow(ALICE, BOB, cfg.packets_per_run)
+    flow_b = Flow(BOB, ALICE, cfg.packets_per_run)
+
+    traditional = TraditionalRouting(
+        topology,
+        [flow_a, flow_b],
+        payload_bits=cfg.payload_bits,
+        ber_acceptance=cfg.ber_acceptance,
+        rng=cfg.run_rng(run_index, stream=1),
+        topology_name="alice_bob",
+    )
+    traditional_run = traditional.run()
+
+    cope = CopeRelayProtocol(
+        topology,
+        RELAY,
+        flow_a,
+        flow_b,
+        payload_bits=cfg.payload_bits,
+        ber_acceptance=cfg.ber_acceptance,
+        rng=cfg.run_rng(run_index, stream=2),
+        topology_name="alice_bob",
+    )
+    cope_run = cope.run()
+
+    anc_rng = cfg.run_rng(run_index, stream=3)
+    overlap_model = OverlapModel(
+        mean_overlap=mean_overlap,
+        jitter=cfg.overlap_jitter,
+        min_offset=default_min_offset(),
+        rng=anc_rng,
+    )
+    anc = ANCRelayProtocol(
+        topology,
+        RELAY,
+        flow_a,
+        flow_b,
+        payload_bits=cfg.payload_bits,
+        ber_acceptance=cfg.ber_acceptance,
+        redundancy_overhead=cfg.anc_redundancy_overhead,
+        overlap_model=overlap_model,
+        rng=anc_rng,
+        topology_name="alice_bob",
+    )
+    return traditional_run, cope_run, anc.run()
+
+
+def run_alice_bob_experiment(
+    config: Optional[ExperimentConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> ExperimentReport:
+    """Run the Fig. 9 experiment and return its report.
+
+    ``engine`` selects how the per-run trials execute (serial, parallel,
+    resumed from cache); the aggregated report is identical either way.
+    """
     cfg = config if config is not None else ExperimentConfig()
-    anc_runs: List[RunResult] = []
-    traditional_runs: List[RunResult] = []
-    cope_runs: List[RunResult] = []
-
-    for run_index in range(cfg.runs):
-        topo_rng = cfg.run_rng(run_index, stream=0)
-        snr_db = cfg.draw_run_snr(topo_rng)
-        mean_overlap = cfg.draw_run_overlap(topo_rng)
-        conditions = ChannelConditions(snr_db=snr_db)
-        topology = alice_bob_topology(conditions, topo_rng)
-        flow_a = Flow(ALICE, BOB, cfg.packets_per_run)
-        flow_b = Flow(BOB, ALICE, cfg.packets_per_run)
-
-        traditional = TraditionalRouting(
-            topology,
-            [flow_a, flow_b],
-            payload_bits=cfg.payload_bits,
-            ber_acceptance=cfg.ber_acceptance,
-            rng=cfg.run_rng(run_index, stream=1),
-            topology_name="alice_bob",
-        )
-        traditional_runs.append(traditional.run())
-
-        cope = CopeRelayProtocol(
-            topology,
-            RELAY,
-            flow_a,
-            flow_b,
-            payload_bits=cfg.payload_bits,
-            ber_acceptance=cfg.ber_acceptance,
-            rng=cfg.run_rng(run_index, stream=2),
-            topology_name="alice_bob",
-        )
-        cope_runs.append(cope.run())
-
-        anc_rng = cfg.run_rng(run_index, stream=3)
-        overlap_model = OverlapModel(
-            mean_overlap=mean_overlap,
-            jitter=cfg.overlap_jitter,
-            min_offset=default_min_offset(),
-            rng=anc_rng,
-        )
-        anc = ANCRelayProtocol(
-            topology,
-            RELAY,
-            flow_a,
-            flow_b,
-            payload_bits=cfg.payload_bits,
-            ber_acceptance=cfg.ber_acceptance,
-            redundancy_overhead=cfg.anc_redundancy_overhead,
-            overlap_model=overlap_model,
-            rng=anc_rng,
-            topology_name="alice_bob",
-        )
-        anc_runs.append(anc.run())
+    trials = default_engine(engine).map(
+        "fig09_alice_bob", run_alice_bob_trial, cfg, range(cfg.runs)
+    )
+    traditional_runs: List[RunResult] = [t[0] for t in trials]
+    cope_runs: List[RunResult] = [t[1] for t in trials]
+    anc_runs: List[RunResult] = [t[2] for t in trials]
 
     report = ExperimentReport(name="fig09_alice_bob", anc_runs=anc_runs)
     report.baseline_runs = {"traditional": traditional_runs, "cope": cope_runs}

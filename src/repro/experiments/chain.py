@@ -10,12 +10,13 @@ relay.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.channel.interference import OverlapModel
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import ExperimentEngine, default_engine
 from repro.metrics.ber import ber_cdf
 from repro.metrics.gain import pair_runs
 from repro.metrics.report import ComparisonReport, ExperimentReport
@@ -29,48 +30,62 @@ from repro.protocols.traditional import TraditionalRouting
 CHAIN_PATH = (1, 2, 3, 4)
 
 
-def run_chain_experiment(config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+def run_chain_trial(
+    cfg: ExperimentConfig, run_index: int
+) -> Tuple[RunResult, RunResult]:
+    """Execute one Fig. 12 chain run under both schemes.
+
+    Picklable engine trial; all randomness is keyed by ``run_index``.
+    Returns the ``(traditional, anc)`` run results.
+    """
+    topo_rng = cfg.run_rng(run_index, stream=20)
+    snr_db = cfg.draw_run_snr(topo_rng)
+    mean_overlap = cfg.draw_run_overlap(topo_rng)
+    conditions = ChannelConditions(snr_db=snr_db)
+    topology = chain_topology(conditions, topo_rng)
+    flow = Flow(CHAIN_PATH[0], CHAIN_PATH[-1], cfg.packets_per_run)
+
+    traditional = TraditionalRouting(
+        topology,
+        [flow],
+        payload_bits=cfg.payload_bits,
+        ber_acceptance=cfg.ber_acceptance,
+        rng=cfg.run_rng(run_index, stream=21),
+        topology_name="chain",
+    )
+    traditional_run = traditional.run()
+
+    anc_rng = cfg.run_rng(run_index, stream=22)
+    overlap_model = OverlapModel(
+        mean_overlap=mean_overlap,
+        jitter=cfg.overlap_jitter,
+        min_offset=default_min_offset(),
+        rng=anc_rng,
+    )
+    anc = ANCChainProtocol(
+        topology,
+        path=CHAIN_PATH,
+        packets=cfg.packets_per_run,
+        payload_bits=cfg.payload_bits,
+        ber_acceptance=cfg.ber_acceptance,
+        redundancy_overhead=cfg.chain_redundancy_overhead,
+        overlap_model=overlap_model,
+        rng=anc_rng,
+    )
+    return traditional_run, anc.run()
+
+
+def run_chain_experiment(
+    config: Optional[ExperimentConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> ExperimentReport:
     """Run the Fig. 12 experiment and return its report."""
     cfg = config if config is not None else ExperimentConfig()
-    anc_runs: List[RunResult] = []
-    traditional_runs: List[RunResult] = []
-
-    for run_index in range(cfg.runs):
-        topo_rng = cfg.run_rng(run_index, stream=20)
-        snr_db = cfg.draw_run_snr(topo_rng)
-        mean_overlap = cfg.draw_run_overlap(topo_rng)
-        conditions = ChannelConditions(snr_db=snr_db)
-        topology = chain_topology(conditions, topo_rng)
-        flow = Flow(CHAIN_PATH[0], CHAIN_PATH[-1], cfg.packets_per_run)
-
-        traditional = TraditionalRouting(
-            topology,
-            [flow],
-            payload_bits=cfg.payload_bits,
-            ber_acceptance=cfg.ber_acceptance,
-            rng=cfg.run_rng(run_index, stream=21),
-            topology_name="chain",
-        )
-        traditional_runs.append(traditional.run())
-
-        anc_rng = cfg.run_rng(run_index, stream=22)
-        overlap_model = OverlapModel(
-            mean_overlap=mean_overlap,
-            jitter=cfg.overlap_jitter,
-            min_offset=default_min_offset(),
-            rng=anc_rng,
-        )
-        anc = ANCChainProtocol(
-            topology,
-            path=CHAIN_PATH,
-            packets=cfg.packets_per_run,
-            payload_bits=cfg.payload_bits,
-            ber_acceptance=cfg.ber_acceptance,
-            redundancy_overhead=cfg.chain_redundancy_overhead,
-            overlap_model=overlap_model,
-            rng=anc_rng,
-        )
-        anc_runs.append(anc.run())
+    trials = default_engine(engine).map(
+        "fig12_chain", run_chain_trial, cfg, range(cfg.runs)
+    )
+    traditional_runs: List[RunResult] = [t[0] for t in trials]
+    anc_runs: List[RunResult] = [t[1] for t in trials]
 
     report = ExperimentReport(name="fig12_chain", anc_runs=anc_runs)
     report.baseline_runs = {"traditional": traditional_runs}

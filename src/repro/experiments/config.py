@@ -85,7 +85,14 @@ class ExperimentConfig:
     # ------------------------------------------------------------------
     @classmethod
     def quick(cls, seed: int = 7) -> "ExperimentConfig":
-        """A configuration small enough for unit tests and CI smoke runs."""
+        """A configuration small enough for unit tests and CI smoke runs.
+
+        Trade-off: 3 runs x 4 packets finishes in seconds, which is what
+        CI needs, but the per-run CDFs it produces are far too coarse to
+        compare against the paper's figures — individual gain samples
+        jump by tens of percent between seeds.  Use it to exercise code
+        paths, never to read off numbers.
+        """
         return cls(runs=3, packets_per_run=4, payload_bits=512, seed=seed)
 
     @classmethod
@@ -95,7 +102,18 @@ class ExperimentConfig:
 
     @classmethod
     def paper_scale(cls, seed: int = 20070823) -> "ExperimentConfig":
-        """The paper's full workload (slow: 40 runs x 1000 packets/direction)."""
+        """The paper's full workload (slow: 40 runs x 1000 packets/direction).
+
+        Trade-off: this is the published experiment — 40 runs of 1000
+        packets per direction — and the only size at which mean gains and
+        BER CDFs are directly comparable to the figures, but every packet
+        is a full sample-level simulation, so a single figure takes hours
+        of CPU serially.  Run it through an
+        :class:`~repro.experiments.engine.ExperimentEngine` with
+        ``workers`` set to your core count and a ``cache_dir`` so an
+        interrupted sweep resumes instead of restarting; results are
+        bit-identical to a serial run.
+        """
         return cls(runs=PAPER_NUM_RUNS, packets_per_run=1000, seed=seed)
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":

@@ -1,0 +1,110 @@
+"""Uniform dispatch of the figure-reproduction experiments.
+
+Maps each experiment's CLI name to a :class:`RunnerSpec` — a description
+plus a ``run(config, engine)`` callable that executes the experiment
+through the :class:`~repro.experiments.engine.ExperimentEngine` and
+returns its plain-text rendering.  The CLI and tests share this registry,
+so adding an experiment means registering one spec rather than editing an
+``if``-chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.alice_bob import run_alice_bob_experiment
+from repro.experiments.capacity_fig7 import render_capacity_table, run_capacity_experiment
+from repro.experiments.chain import run_chain_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.sir_sweep import render_sir_table, run_sir_sweep
+from repro.experiments.snr_sweep import render_snr_table, run_snr_sweep
+from repro.experiments.summary import run_summary
+from repro.experiments.x_topology import run_x_topology_experiment
+
+#: Signature of one registered experiment: config + engine -> rendered text.
+RunnerFn = Callable[[ExperimentConfig, Optional[ExperimentEngine]], str]
+
+
+@dataclass(frozen=True)
+class RunnerSpec:
+    """One experiment the CLI (and tests) can execute by name.
+
+    Attributes
+    ----------
+    name:
+        The CLI name (e.g. ``"alice-bob"``).
+    description:
+        One-line description shown in ``--help``, naming the paper figure.
+    run:
+        Executes the experiment through the given engine and returns the
+        plain-text report.
+    """
+
+    name: str
+    description: str
+    run: RunnerFn
+
+
+def _run_capacity(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
+    return render_capacity_table(run_capacity_experiment(config=config, engine=engine))
+
+
+def _run_alice_bob(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
+    return run_alice_bob_experiment(config, engine=engine).render()
+
+
+def _run_x(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
+    return run_x_topology_experiment(config, engine=engine).render()
+
+
+def _run_chain(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
+    return run_chain_experiment(config, engine=engine).render()
+
+
+def _run_sir(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
+    points = run_sir_sweep(
+        config, packets_per_point=config.packets_per_run, engine=engine
+    )
+    return render_sir_table(points)
+
+
+def _run_snr(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
+    return render_snr_table(run_snr_sweep(config, engine=engine))
+
+
+def _run_summary(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
+    return run_summary(config, engine=engine).render()
+
+
+#: Registry of every experiment, keyed by CLI name (insertion order is the
+#: order the ``--help`` epilogue lists them in).
+RUNNERS: Dict[str, RunnerSpec] = {
+    spec.name: spec
+    for spec in (
+        RunnerSpec("capacity", "Fig. 7  — capacity bounds vs SNR", _run_capacity),
+        RunnerSpec("alice-bob", "Fig. 9  — Alice-Bob topology", _run_alice_bob),
+        RunnerSpec("x", "Fig. 10 — the X topology", _run_x),
+        RunnerSpec("chain", "Fig. 12 — chain topology", _run_chain),
+        RunnerSpec("sir", "Fig. 13 — BER vs SIR", _run_sir),
+        RunnerSpec("snr", "extension — gain and BER vs operating SNR", _run_snr),
+        RunnerSpec("summary", "§11.3  — summary of results", _run_summary),
+    )
+}
+
+
+def available_runners() -> List[str]:
+    """Names of every registered experiment, in registry order."""
+    return list(RUNNERS)
+
+
+def get_runner(name: str) -> RunnerSpec:
+    """Look up one experiment by CLI name."""
+    try:
+        return RUNNERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; choose from {', '.join(RUNNERS)}"
+        ) from None

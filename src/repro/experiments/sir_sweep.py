@@ -24,6 +24,7 @@ from repro.channel.interference import InterferenceCombiner, OverlapModel
 from repro.channel.link import Link
 from repro.channel.relay import AmplifyAndForwardRelayChannel
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import ExperimentEngine, default_engine
 from repro.framing.buffer import SentPacketBuffer
 from repro.framing.frame import Framer
 from repro.framing.packet import Packet
@@ -43,11 +44,108 @@ class SIRPoint:
     decode_failures: int
 
 
+def run_sir_point_trial(
+    cfg: ExperimentConfig,
+    point_index: int,
+    sir_db_values: Tuple[float, ...],
+    packets_per_point: int,
+    snr_db: float,
+) -> SIRPoint:
+    """Simulate every collision of one SIR grid point (one engine trial).
+
+    Picklable so the sweep can fan points out across process workers; the
+    random stream is keyed by ``point_index`` alone, so the point's result
+    is independent of execution order.
+    """
+    sir_db = float(sir_db_values[point_index])
+    framer = Framer()
+    rng = cfg.run_rng(1000 + point_index, stream=30)
+    overlap_model = OverlapModel(
+        mean_overlap=cfg.draw_run_overlap(rng),
+        jitter=cfg.overlap_jitter,
+        min_offset=default_min_offset(),
+        rng=rng,
+    )
+    # Alice transmits at unit amplitude; Bob's amplitude realises the
+    # requested SIR at Alice (both go through statistically identical
+    # links, so the transmit-amplitude ratio is the received ratio).
+    bob_amplitude = db_to_linear(sir_db)
+    alice_mod = MSKModulator(amplitude=1.0)
+    bob_mod = MSKModulator(amplitude=bob_amplitude)
+
+    # Noise relative to Alice's received power (attenuation 0.8).
+    noise_power = (0.8 ** 2) / (10.0 ** (snr_db / 10.0))
+
+    bers: List[float] = []
+    failures = 0
+    for packet_index in range(packets_per_point):
+        alice_packet = Packet.random(1, 2, packet_index, cfg.payload_bits, rng)
+        bob_packet = Packet.random(2, 1, 1000 + packet_index, cfg.payload_bits, rng)
+        alice_frame = framer.build(alice_packet)
+        bob_frame = framer.build(bob_packet)
+        alice_wave = alice_mod.modulate(alice_frame.bits)
+        bob_wave = bob_mod.modulate(bob_frame.bits)
+
+        link_alice = Link(
+            attenuation=0.8,
+            phase_shift=float(rng.uniform(-np.pi, np.pi)),
+            frequency_offset=float(rng.uniform(0.01, 0.04)),
+        )
+        link_bob = Link(
+            attenuation=0.8,
+            phase_shift=float(rng.uniform(-np.pi, np.pi)),
+            frequency_offset=-float(rng.uniform(0.01, 0.04)),
+        )
+        combiner = InterferenceCombiner(noise_power=noise_power, rng=rng)
+        _, offset = overlap_model.draw_offsets(len(alice_wave))
+        collision = combiner.combine(
+            [(alice_wave, link_alice, 0), (bob_wave, link_bob, offset)],
+            tail_padding=32,
+        )
+        relay = AmplifyAndForwardRelayChannel(transmit_power=1.0)
+        broadcast = relay.apply(collision.signal)
+        downlink = Link(
+            attenuation=0.8,
+            phase_shift=float(rng.uniform(-np.pi, np.pi)),
+            frequency_offset=float(rng.uniform(-0.02, 0.02)),
+            noise_power=noise_power,
+        )
+        received = downlink.propagate(broadcast, rng=rng)
+
+        buffer = SentPacketBuffer()
+        buffer.store(alice_frame)
+        pipeline = ReceivePipeline(
+            noise_power=noise_power,
+            expected_payload_bits=cfg.payload_bits,
+            known_frames=buffer,
+        )
+        outcome = pipeline.receive(received)
+        if (
+            outcome.outcome != ReceiveOutcome.ANC_DECODED
+            or outcome.packet is None
+            or outcome.packet.payload.size != bob_packet.payload.size
+        ):
+            failures += 1
+            continue
+        bers.append(
+            float(np.mean(outcome.packet.payload != bob_packet.payload))
+        )
+
+    mean_ber = float(np.mean(bers)) if bers else 0.5
+    return SIRPoint(
+        sir_db=sir_db,
+        mean_ber=mean_ber,
+        packets=packets_per_point,
+        decode_failures=failures,
+    )
+
+
 def run_sir_sweep(
     config: Optional[ExperimentConfig] = None,
     sir_db_values: Sequence[float] = (-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0, 4.0),
     packets_per_point: int = 20,
     snr_db: float = 19.0,
+    engine: Optional[ExperimentEngine] = None,
 ) -> List[SIRPoint]:
     """Measure Alice's decoding BER as a function of SIR (Fig. 13).
 
@@ -62,94 +160,23 @@ def run_sir_sweep(
     snr_db:
         Operating SNR of all links during the sweep (power control changes
         only Bob's transmit power, not the noise).
+    engine:
+        How the grid points execute (serial, parallel, resumed from a
+        disk cache); the sweep result is identical either way.
     """
     cfg = config if config is not None else ExperimentConfig()
-    framer = Framer()
-    results: List[SIRPoint] = []
-
-    for point_index, sir_db in enumerate(sir_db_values):
-        rng = cfg.run_rng(1000 + point_index, stream=30)
-        overlap_model = OverlapModel(
-            mean_overlap=cfg.draw_run_overlap(rng),
-            jitter=cfg.overlap_jitter,
-            min_offset=default_min_offset(),
-            rng=rng,
-        )
-        # Alice transmits at unit amplitude; Bob's amplitude realises the
-        # requested SIR at Alice (both go through statistically identical
-        # links, so the transmit-amplitude ratio is the received ratio).
-        bob_amplitude = db_to_linear(sir_db)
-        alice_mod = MSKModulator(amplitude=1.0)
-        bob_mod = MSKModulator(amplitude=bob_amplitude)
-
-        # Noise relative to Alice's received power (attenuation 0.8).
-        noise_power = (0.8 ** 2) / (10.0 ** (snr_db / 10.0))
-
-        bers: List[float] = []
-        failures = 0
-        for packet_index in range(packets_per_point):
-            alice_packet = Packet.random(1, 2, packet_index, cfg.payload_bits, rng)
-            bob_packet = Packet.random(2, 1, 1000 + packet_index, cfg.payload_bits, rng)
-            alice_frame = framer.build(alice_packet)
-            bob_frame = framer.build(bob_packet)
-            alice_wave = alice_mod.modulate(alice_frame.bits)
-            bob_wave = bob_mod.modulate(bob_frame.bits)
-
-            link_alice = Link(
-                attenuation=0.8,
-                phase_shift=float(rng.uniform(-np.pi, np.pi)),
-                frequency_offset=float(rng.uniform(0.01, 0.04)),
-            )
-            link_bob = Link(
-                attenuation=0.8,
-                phase_shift=float(rng.uniform(-np.pi, np.pi)),
-                frequency_offset=-float(rng.uniform(0.01, 0.04)),
-            )
-            combiner = InterferenceCombiner(noise_power=noise_power, rng=rng)
-            _, offset = overlap_model.draw_offsets(len(alice_wave))
-            collision = combiner.combine(
-                [(alice_wave, link_alice, 0), (bob_wave, link_bob, offset)],
-                tail_padding=32,
-            )
-            relay = AmplifyAndForwardRelayChannel(transmit_power=1.0)
-            broadcast = relay.apply(collision.signal)
-            downlink = Link(
-                attenuation=0.8,
-                phase_shift=float(rng.uniform(-np.pi, np.pi)),
-                frequency_offset=float(rng.uniform(-0.02, 0.02)),
-                noise_power=noise_power,
-            )
-            received = downlink.propagate(broadcast, rng=rng)
-
-            buffer = SentPacketBuffer()
-            buffer.store(alice_frame)
-            pipeline = ReceivePipeline(
-                noise_power=noise_power,
-                expected_payload_bits=cfg.payload_bits,
-                known_frames=buffer,
-            )
-            outcome = pipeline.receive(received)
-            if (
-                outcome.outcome != ReceiveOutcome.ANC_DECODED
-                or outcome.packet is None
-                or outcome.packet.payload.size != bob_packet.payload.size
-            ):
-                failures += 1
-                continue
-            bers.append(
-                float(np.mean(outcome.packet.payload != bob_packet.payload))
-            )
-
-        mean_ber = float(np.mean(bers)) if bers else 0.5
-        results.append(
-            SIRPoint(
-                sir_db=float(sir_db),
-                mean_ber=mean_ber,
-                packets=packets_per_point,
-                decode_failures=failures,
-            )
-        )
-    return results
+    params = {
+        "sir_db_values": tuple(float(v) for v in sir_db_values),
+        "packets_per_point": int(packets_per_point),
+        "snr_db": float(snr_db),
+    }
+    return default_engine(engine).map(
+        "fig13_sir_sweep",
+        run_sir_point_trial,
+        cfg,
+        range(len(params["sir_db_values"])),
+        params=params,
+    )
 
 
 def render_sir_table(points: Sequence[SIRPoint]) -> str:

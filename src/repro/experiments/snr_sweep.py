@@ -13,13 +13,14 @@ theoretical one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.capacity.bounds import capacity_gain
 from repro.channel.interference import OverlapModel
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import ExperimentEngine, default_engine
 from repro.network.flows import Flow
 from repro.network.topologies import ALICE, BOB, RELAY, ChannelConditions, alice_bob_topology
 from repro.protocols.anc import ANCRelayProtocol, default_min_offset
@@ -42,10 +43,71 @@ class SNRPoint:
         return self.gain_over_traditional > 1.0
 
 
+def run_snr_point_trial(
+    cfg: ExperimentConfig,
+    point_index: int,
+    snr_db_values: Tuple[float, ...],
+    runs_per_point: int,
+) -> SNRPoint:
+    """Evaluate one operating-SNR grid point (one engine trial).
+
+    Picklable so the sweep can fan points out across process workers;
+    every run's random stream is keyed by ``point_index`` and the run
+    number alone, so the point's result is independent of execution order.
+    """
+    index = point_index
+    snr_db = float(snr_db_values[point_index])
+    gains: List[float] = []
+    bers: List[float] = []
+    delivery: List[float] = []
+    for run in range(runs_per_point):
+        rng = cfg.run_rng(5000 + 100 * index + run, stream=40)
+        conditions = ChannelConditions(snr_db=float(snr_db))
+        topology = alice_bob_topology(conditions, rng)
+        flow_a = Flow(ALICE, BOB, cfg.packets_per_run)
+        flow_b = Flow(BOB, ALICE, cfg.packets_per_run)
+        traditional = TraditionalRouting(
+            topology,
+            [flow_a, flow_b],
+            payload_bits=cfg.payload_bits,
+            ber_acceptance=cfg.ber_acceptance,
+            rng=cfg.run_rng(5000 + 100 * index + run, stream=41),
+        ).run()
+        anc_rng = cfg.run_rng(5000 + 100 * index + run, stream=42)
+        anc = ANCRelayProtocol(
+            topology,
+            RELAY,
+            flow_a,
+            flow_b,
+            payload_bits=cfg.payload_bits,
+            ber_acceptance=cfg.ber_acceptance,
+            redundancy_overhead=cfg.anc_redundancy_overhead,
+            overlap_model=OverlapModel(
+                mean_overlap=cfg.draw_run_overlap(anc_rng),
+                jitter=cfg.overlap_jitter,
+                min_offset=default_min_offset(),
+                rng=anc_rng,
+            ),
+            rng=anc_rng,
+        ).run()
+        gains.append(anc.throughput / traditional.throughput)
+        decoded = [b for b in anc.packet_bers if b < 0.5]
+        bers.append(float(np.mean(decoded)) if decoded else 0.5)
+        delivery.append(anc.delivery_ratio)
+    return SNRPoint(
+        snr_db=float(snr_db),
+        gain_over_traditional=float(np.mean(gains)),
+        mean_ber=float(np.mean(bers)),
+        delivery_ratio=float(np.mean(delivery)),
+        theoretical_gain=float(capacity_gain(float(snr_db))),
+    )
+
+
 def run_snr_sweep(
     config: Optional[ExperimentConfig] = None,
     snr_db_values: Sequence[float] = (16.0, 20.0, 24.0, 28.0, 32.0, 36.0),
     runs_per_point: int = 2,
+    engine: Optional[ExperimentEngine] = None,
 ) -> List[SNRPoint]:
     """Measure throughput gain and BER of ANC across operating SNRs.
 
@@ -60,57 +122,22 @@ def run_snr_sweep(
         cannot associate below ~5-10 dB (§8).
     runs_per_point:
         Independent topology draws averaged per SNR value.
+    engine:
+        How the grid points execute (serial, parallel, resumed from a
+        disk cache); the sweep result is identical either way.
     """
     cfg = config if config is not None else ExperimentConfig()
-    points: List[SNRPoint] = []
-    for index, snr_db in enumerate(snr_db_values):
-        gains: List[float] = []
-        bers: List[float] = []
-        delivery: List[float] = []
-        for run in range(runs_per_point):
-            rng = cfg.run_rng(5000 + 100 * index + run, stream=40)
-            conditions = ChannelConditions(snr_db=float(snr_db))
-            topology = alice_bob_topology(conditions, rng)
-            flow_a = Flow(ALICE, BOB, cfg.packets_per_run)
-            flow_b = Flow(BOB, ALICE, cfg.packets_per_run)
-            traditional = TraditionalRouting(
-                topology,
-                [flow_a, flow_b],
-                payload_bits=cfg.payload_bits,
-                ber_acceptance=cfg.ber_acceptance,
-                rng=cfg.run_rng(5000 + 100 * index + run, stream=41),
-            ).run()
-            anc_rng = cfg.run_rng(5000 + 100 * index + run, stream=42)
-            anc = ANCRelayProtocol(
-                topology,
-                RELAY,
-                flow_a,
-                flow_b,
-                payload_bits=cfg.payload_bits,
-                ber_acceptance=cfg.ber_acceptance,
-                redundancy_overhead=cfg.anc_redundancy_overhead,
-                overlap_model=OverlapModel(
-                    mean_overlap=cfg.draw_run_overlap(anc_rng),
-                    jitter=cfg.overlap_jitter,
-                    min_offset=default_min_offset(),
-                    rng=anc_rng,
-                ),
-                rng=anc_rng,
-            ).run()
-            gains.append(anc.throughput / traditional.throughput)
-            decoded = [b for b in anc.packet_bers if b < 0.5]
-            bers.append(float(np.mean(decoded)) if decoded else 0.5)
-            delivery.append(anc.delivery_ratio)
-        points.append(
-            SNRPoint(
-                snr_db=float(snr_db),
-                gain_over_traditional=float(np.mean(gains)),
-                mean_ber=float(np.mean(bers)),
-                delivery_ratio=float(np.mean(delivery)),
-                theoretical_gain=float(capacity_gain(float(snr_db))),
-            )
-        )
-    return points
+    params = {
+        "snr_db_values": tuple(float(v) for v in snr_db_values),
+        "runs_per_point": int(runs_per_point),
+    }
+    return default_engine(engine).map(
+        "extension_snr_sweep",
+        run_snr_point_trial,
+        cfg,
+        range(len(params["snr_db_values"])),
+        params=params,
+    )
 
 
 def render_snr_table(points: Sequence[SNRPoint]) -> str:

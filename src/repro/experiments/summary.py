@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 from repro.experiments.alice_bob import run_alice_bob_experiment
 from repro.experiments.chain import run_chain_experiment
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.sir_sweep import SIRPoint, run_sir_sweep
 from repro.experiments.x_topology import run_x_topology_experiment
 from repro.metrics.report import ExperimentReport
@@ -69,15 +70,22 @@ class SummaryResult:
 def run_summary(
     config: Optional[ExperimentConfig] = None,
     include_sir_sweep: bool = True,
+    engine: Optional[ExperimentEngine] = None,
 ) -> SummaryResult:
-    """Run every evaluation experiment and collect the §11.3 summary."""
+    """Run every evaluation experiment and collect the §11.3 summary.
+
+    ``engine`` is forwarded to each sub-experiment, so a parallel or
+    resumable engine accelerates the whole summary at once.
+    """
     cfg = config if config is not None else ExperimentConfig()
-    alice_bob = run_alice_bob_experiment(cfg)
-    x_top = run_x_topology_experiment(cfg)
-    chain = run_chain_experiment(cfg)
+    alice_bob = run_alice_bob_experiment(cfg, engine=engine)
+    x_top = run_x_topology_experiment(cfg, engine=engine)
+    chain = run_chain_experiment(cfg, engine=engine)
     sir_points: List[SIRPoint] = []
     if include_sir_sweep:
-        sir_points = run_sir_sweep(cfg, packets_per_point=max(4, cfg.packets_per_run // 2))
+        sir_points = run_sir_sweep(
+            cfg, packets_per_point=max(4, cfg.packets_per_run // 2), engine=engine
+        )
     return SummaryResult(
         alice_bob=alice_bob,
         x_topology=x_top,

@@ -47,6 +47,7 @@ class Transmission:
 
     @property
     def end_sample(self) -> int:
+        """First sample index after the transmission ends within the slot."""
         return self.start_offset + len(self.waveform)
 
 
@@ -59,6 +60,12 @@ class WirelessMedium:
         rng: Optional[np.random.Generator] = None,
         tail_padding: int = 32,
     ) -> None:
+        """Create a medium over ``topology``.
+
+        ``rng`` drives every receiver's thermal noise; ``tail_padding``
+        extends each slot by a few silent samples so channel delay spread
+        never truncates a waveform.
+        """
         self.topology = topology
         self._rng = rng if rng is not None else np.random.default_rng()
         if tail_padding < 0:

@@ -51,6 +51,8 @@ class SlotSimulator:
         rng: Optional[np.random.Generator] = None,
         tail_padding: int = 32,
     ) -> None:
+        """Create a simulator over ``topology``; ``rng``/``tail_padding``
+        are forwarded to the underlying :class:`WirelessMedium`."""
         self.topology = topology
         self.medium = WirelessMedium(topology, rng=rng, tail_padding=tail_padding)
         self._slot_index = 0

@@ -23,6 +23,7 @@ class Topology:
     """A set of nodes and the directed radio links between them."""
 
     def __init__(self) -> None:
+        """Create an empty topology (no nodes, no links)."""
         self._graph = nx.DiGraph()
         self._noise_power: Dict[int, float] = {}
 
@@ -73,6 +74,7 @@ class Topology:
         return self._graph
 
     def has_node(self, node_id: int) -> bool:
+        """Is ``node_id`` registered in this topology?"""
         return node_id in self._graph
 
     def noise_power(self, node_id: int) -> float:

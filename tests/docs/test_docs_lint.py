@@ -1,0 +1,67 @@
+"""The documentation lint must stay clean (and keep working).
+
+Runs ``tools/docs_lint.py`` against the real repo — broken README/docs
+links or missing public docstrings in ``repro.experiments`` /
+``repro.network`` fail the suite, not just CI — plus unit-checks of the
+two lint rules against synthetic trees.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINT = REPO_ROOT / "tools" / "docs_lint.py"
+
+
+def test_repo_docs_are_clean():
+    result = subprocess.run(
+        [sys.executable, str(LINT), str(REPO_ROOT)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert result.returncode == 0, f"docs lint found problems:\n{result.stdout}"
+
+
+def test_required_docs_exist():
+    assert (REPO_ROOT / "README.md").is_file()
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
+    readme = (REPO_ROOT / "README.md").read_text()
+    # The quickstart, test command and figure map must stay documented.
+    assert "examples/quickstart.py" in readme
+    assert "python -m pytest -x -q" in readme
+    assert "fig09_alice_bob.txt" in readme
+
+
+def test_link_checker_flags_broken_link(tmp_path):
+    sys.path.insert(0, str(LINT.parent))
+    try:
+        import docs_lint
+    finally:
+        sys.path.pop(0)
+
+    (tmp_path / "README.md").write_text("[missing](does/not/exist.md)\n")
+    findings = docs_lint.check_links(tmp_path)
+    assert len(findings) == 1 and "does/not/exist.md" in findings[0]
+
+    (tmp_path / "README.md").write_text("[ok](sub.md) [web](https://x.y)\n")
+    (tmp_path / "sub.md").write_text("hi\n")
+    assert docs_lint.check_links(tmp_path) == []
+
+
+def test_docstring_checker_flags_missing(tmp_path):
+    sys.path.insert(0, str(LINT.parent))
+    try:
+        import docs_lint
+    finally:
+        sys.path.pop(0)
+
+    package = tmp_path / "src" / "repro" / "experiments"
+    package.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "network").mkdir()
+    (package / "bad.py").write_text('"""Mod."""\ndef f():\n    return 1\n')
+    findings = docs_lint.check_docstrings(tmp_path)
+    assert len(findings) == 1 and "f:2" in findings[0]

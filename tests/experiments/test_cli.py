@@ -21,6 +21,17 @@ class TestParser:
         assert args.runs == 10
         assert args.packets == 10
         assert args.payload_bits == 768
+        assert args.workers == 1
+        assert args.resume is False
+        assert args.cache_dir is None
+
+    def test_engine_flags(self):
+        args = build_parser().parse_args(
+            ["alice-bob", "--workers", "4", "--resume", "--cache-dir", "/tmp/c"]
+        )
+        assert args.workers == 4
+        assert args.resume is True
+        assert args.cache_dir == "/tmp/c"
 
 
 class TestMain:
@@ -42,3 +53,25 @@ class TestMain:
     def test_chain_small(self, capsys):
         assert main(["chain", "--runs", "2", "--packets", "3", "--payload-bits", "512"]) == 0
         assert "fig12_chain" in capsys.readouterr().out
+
+    def test_parallel_output_matches_serial(self, capsys):
+        base = ["alice-bob", "--runs", "2", "--packets", "3", "--payload-bits", "512"]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_invalid_workers_is_clean_error(self, capsys):
+        assert main(["alice-bob", "--workers", "0"]) == 2
+        assert "workers must be a positive integer" in capsys.readouterr().err
+
+    def test_resume_reuses_cache(self, capsys, tmp_path):
+        base = [
+            "sir", "--runs", "1", "--packets", "3", "--payload-bits", "512",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert any(tmp_path.iterdir()), "trials should have been cached"
+        assert main(base) == 0
+        assert capsys.readouterr().out == first

@@ -1,0 +1,226 @@
+"""Tests for the parallel, resumable :class:`ExperimentEngine`.
+
+Covers the three guarantees the experiment runners rely on:
+
+* serial (``workers=1``) and parallel (``workers>1``) execution produce
+  bit-identical results, because every trial's randomness is keyed by its
+  trial index rather than by execution order;
+* completed trials cached to disk are reused on resume, and only the
+  missing trials are recomputed;
+* the cache is keyed by the full (experiment, trial function, config,
+  params) digest, so changing any of them invalidates it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.alice_bob import run_alice_bob_experiment, run_alice_bob_trial
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import ExperimentEngine, default_engine
+from repro.experiments.runner import RUNNERS, available_runners, get_runner
+from repro.experiments.sir_sweep import run_sir_sweep
+from repro.experiments.snr_sweep import run_snr_sweep
+
+
+def _draw_trial(cfg: ExperimentConfig, key: int) -> float:
+    """Toy trial: one deterministic draw from the key's substream."""
+    return float(cfg.run_rng(key, stream=0).uniform())
+
+
+def _echo_trial(cfg: ExperimentConfig, key, scale: float = 1.0):
+    """Toy trial echoing its key (scaled), for ordering/params tests."""
+    return (key, scale)
+
+
+def _failing_trial(cfg: ExperimentConfig, key: int) -> float:
+    """Toy trial that always raises."""
+    raise RuntimeError(f"trial {key} exploded")
+
+
+def _none_trial(cfg: ExperimentConfig, key: int) -> None:
+    """Toy trial whose legitimate result is ``None``."""
+    return None
+
+
+@pytest.fixture
+def quick_config() -> ExperimentConfig:
+    return ExperimentConfig.quick(seed=11)
+
+
+class TestMapBasics:
+    def test_results_in_key_order(self, quick_config):
+        engine = ExperimentEngine()
+        results = engine.map("toy", _echo_trial, quick_config, [4, 2, 9])
+        assert [r[0] for r in results] == [4, 2, 9]
+
+    def test_params_are_forwarded(self, quick_config):
+        engine = ExperimentEngine()
+        results = engine.map(
+            "toy", _echo_trial, quick_config, [0, 1], params={"scale": 2.5}
+        )
+        assert all(r[1] == 2.5 for r in results)
+
+    def test_duplicate_keys_rejected(self, quick_config):
+        with pytest.raises(ConfigurationError):
+            ExperimentEngine().map("toy", _echo_trial, quick_config, [1, 1])
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentEngine(workers=0)
+
+    def test_trial_errors_propagate(self, quick_config):
+        with pytest.raises(RuntimeError, match="exploded"):
+            ExperimentEngine().map("toy", _failing_trial, quick_config, range(2))
+
+    def test_stats_recorded(self, quick_config):
+        engine = ExperimentEngine()
+        engine.map("toy", _draw_trial, quick_config, range(5))
+        stats = engine.last_stats
+        assert stats.total_trials == 5
+        assert stats.executed_trials == 5
+        assert stats.cached_trials == 0
+        assert stats.workers == 1
+
+    def test_default_engine_fallback(self):
+        engine = ExperimentEngine(workers=1)
+        assert default_engine(engine) is engine
+        assert default_engine(None).workers == 1
+
+
+class TestSerialParallelEquivalence:
+    def test_toy_trials_identical(self, quick_config):
+        serial = ExperimentEngine(workers=1).map(
+            "toy", _draw_trial, quick_config, range(6)
+        )
+        parallel = ExperimentEngine(workers=2).map(
+            "toy", _draw_trial, quick_config, range(6)
+        )
+        assert serial == parallel
+
+    def test_alice_bob_report_bit_identical(self, quick_config):
+        serial = run_alice_bob_experiment(quick_config, engine=ExperimentEngine(workers=1))
+        parallel = run_alice_bob_experiment(quick_config, engine=ExperimentEngine(workers=2))
+        # Exact equality, not approx: parallel execution must reproduce the
+        # serial reports bit for bit.
+        assert serial.render() == parallel.render()
+        assert [r.throughput for r in serial.anc_runs] == [
+            r.throughput for r in parallel.anc_runs
+        ]
+        assert serial.comparisons["traditional"].mean_gain == (
+            parallel.comparisons["traditional"].mean_gain
+        )
+        assert serial.ber_cdf.mean == parallel.ber_cdf.mean
+
+    def test_sir_sweep_bit_identical(self, quick_config):
+        kwargs = dict(sir_db_values=(-3.0, 1.0), packets_per_point=2)
+        serial = run_sir_sweep(quick_config, engine=ExperimentEngine(workers=1), **kwargs)
+        parallel = run_sir_sweep(quick_config, engine=ExperimentEngine(workers=2), **kwargs)
+        assert serial == parallel
+
+
+class TestResume:
+    def test_second_run_fully_cached(self, quick_config, tmp_path):
+        first = ExperimentEngine(cache_dir=tmp_path)
+        results = first.map("toy", _draw_trial, quick_config, range(4))
+        assert first.last_stats.executed_trials == 4
+
+        second = ExperimentEngine(cache_dir=tmp_path)
+        resumed = second.map("toy", _draw_trial, quick_config, range(4))
+        assert resumed == results
+        assert second.last_stats.cached_trials == 4
+        assert second.last_stats.executed_trials == 0
+
+    def test_partial_resume_recomputes_only_missing(self, quick_config, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        results = engine.map("toy", _draw_trial, quick_config, range(4))
+        digest = engine.last_stats.digest
+        (tmp_path / digest / "00000002.pkl").unlink()
+
+        resumed = ExperimentEngine(cache_dir=tmp_path)
+        assert resumed.map("toy", _draw_trial, quick_config, range(4)) == results
+        assert resumed.last_stats.cached_trials == 3
+        assert resumed.last_stats.executed_trials == 1
+
+    def test_corrupt_cache_entry_recomputed(self, quick_config, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        results = engine.map("toy", _draw_trial, quick_config, range(2))
+        digest = engine.last_stats.digest
+        (tmp_path / digest / "00000001.pkl").write_bytes(b"torn write")
+
+        resumed = ExperimentEngine(cache_dir=tmp_path)
+        assert resumed.map("toy", _draw_trial, quick_config, range(2)) == results
+        assert resumed.last_stats.executed_trials == 1
+
+    def test_none_results_are_cacheable(self, quick_config, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        assert engine.map("toy", _none_trial, quick_config, range(2)) == [None, None]
+        resumed = ExperimentEngine(cache_dir=tmp_path)
+        assert resumed.map("toy", _none_trial, quick_config, range(2)) == [None, None]
+        assert resumed.last_stats.cached_trials == 2
+        assert resumed.last_stats.executed_trials == 0
+
+    def test_experiment_resume_matches_uncached_run(self, quick_config, tmp_path):
+        kwargs = dict(snr_db_values=(20.0, 30.0), runs_per_point=1)
+        cached_engine = ExperimentEngine(cache_dir=tmp_path)
+        first = run_snr_sweep(quick_config, engine=cached_engine, **kwargs)
+        resumed = run_snr_sweep(quick_config, engine=ExperimentEngine(cache_dir=tmp_path), **kwargs)
+        uncached = run_snr_sweep(quick_config, engine=ExperimentEngine(), **kwargs)
+        assert first == resumed == uncached
+
+
+class TestCacheKeying:
+    def test_config_change_invalidates_cache(self, quick_config, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        engine.map("toy", _draw_trial, quick_config, range(3))
+
+        reseeded = quick_config.with_overrides(seed=99)
+        engine.map("toy", _draw_trial, reseeded, range(3))
+        assert engine.last_stats.cached_trials == 0
+        assert engine.last_stats.executed_trials == 3
+
+    def test_params_change_invalidates_cache(self, quick_config, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        engine.map("toy", _echo_trial, quick_config, range(3), params={"scale": 1.0})
+        engine.map("toy", _echo_trial, quick_config, range(3), params={"scale": 2.0})
+        assert engine.last_stats.cached_trials == 0
+
+    def test_digest_stable_across_instances(self, quick_config):
+        first = ExperimentEngine.task_digest("toy", _draw_trial, quick_config)
+        second = ExperimentEngine.task_digest("toy", _draw_trial, quick_config)
+        assert first == second
+
+
+class TestRunnerRegistry:
+    def test_registry_covers_every_cli_experiment(self):
+        assert available_runners() == [
+            "capacity", "alice-bob", "x", "chain", "sir", "snr", "summary",
+        ]
+
+    def test_get_runner_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_runner("does-not-exist")
+
+    def test_capacity_runner_renders(self, quick_config):
+        text = RUNNERS["capacity"].run(quick_config, ExperimentEngine())
+        assert "crossover" in text
+
+    def test_alice_bob_runner_matches_direct_call(self, quick_config):
+        via_registry = get_runner("alice-bob").run(quick_config, None)
+        direct = run_alice_bob_experiment(quick_config).render()
+        assert via_registry == direct
+
+
+class TestTrialFunctionsAreEngineCompatible:
+    def test_trial_function_is_picklable_toplevel(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(run_alice_bob_trial)) is run_alice_bob_trial
+
+    def test_trial_matches_experiment_runs(self, quick_config):
+        traditional, cope, anc = run_alice_bob_trial(quick_config, 0)
+        report = run_alice_bob_experiment(quick_config)
+        assert report.baseline_runs["traditional"][0].throughput == traditional.throughput
+        assert report.baseline_runs["cope"][0].throughput == cope.throughput
+        assert report.anc_runs[0].throughput == anc.throughput

@@ -19,7 +19,7 @@ the interference-free head of the packet.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -44,7 +44,7 @@ def mean_energy(samples: SignalLike) -> float:
     return float(np.mean(np.abs(y) ** 2))
 
 
-def sigma_statistic(samples: SignalLike, mu: float = None) -> float:
+def sigma_statistic(samples: SignalLike, mu: Optional[float] = None) -> float:
     """The statistic ``sigma`` of Eq. 6.
 
     ``sigma`` is defined as ``(2/N) * sum`` of the sample energies that

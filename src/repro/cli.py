@@ -11,6 +11,13 @@ custom size::
     python -m repro.cli sir --seed 3
     python -m repro.cli summary --runs 5 --packets 6
 
+Scenario sweeps from the registry in
+:mod:`repro.experiments.scenarios` run through the ``run`` subcommand
+(``--quick`` shrinks them to smoke-test size)::
+
+    python -m repro.cli run chain_sweep --quick --workers 2
+    python -m repro.cli run mesh_sweep --runs 20 --workers 8 --resume
+
 Monte-Carlo trials execute through the
 :class:`~repro.experiments.engine.ExperimentEngine`: ``--workers N`` fans
 them out over ``N`` processes (bit-identical to serial, just faster), and
@@ -30,9 +37,13 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine
 from repro.experiments.runner import RUNNERS
+from repro.experiments.scenarios import SCENARIOS, run_scenario
 
 #: Experiment names accepted on the command line, with the figure they map to.
 EXPERIMENTS = {name: spec.description for name, spec in RUNNERS.items()}
+
+#: Scenario names accepted by the ``run`` subcommand.
+SCENARIO_NAMES = {name: spec.description for name, spec in SCENARIOS.items()}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,7 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="anc-repro",
         description="Regenerate the evaluation figures of 'Embracing Wireless "
-        "Interference: Analog Network Coding' (SIGCOMM 2007).",
+        "Interference: Analog Network Coding' (SIGCOMM 2007).  Scenario "
+        "sweeps run through the 'run' subcommand: anc-repro run "
+        f"{{{','.join(sorted(SCENARIO_NAMES))}}} [--quick] "
+        "(see 'anc-repro run --help' and docs/SCENARIOS.md).",
         epilog="experiments: "
         + "; ".join(f"{name}: {desc}" for name, desc in EXPERIMENTS.items()),
     )
@@ -52,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--payload-bits", type=int, default=768, help="payload size in bits (default 768)"
     )
+    _add_engine_arguments(parser)
+    return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the seed/engine flags shared by the figure and scenario parsers."""
     parser.add_argument("--seed", type=int, default=20070823, help="master random seed")
     parser.add_argument(
         "--workers",
@@ -72,6 +92,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="trial-cache directory (implies --resume when set)",
     )
+
+
+def build_scenario_parser() -> argparse.ArgumentParser:
+    """Construct the parser of the ``run`` (scenario) subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="anc-repro run",
+        description="Run a registered scenario sweep (see docs/SCENARIOS.md).",
+        epilog="scenarios: "
+        + "; ".join(f"{name}: {desc}" for name, desc in SCENARIO_NAMES.items()),
+    )
+    parser.add_argument(
+        "scenario", choices=sorted(SCENARIO_NAMES), help="which scenario sweep to run"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-test size: few runs/packets and a thinned sweep axis",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=None, help="independent runs per sweep point"
+    )
+    parser.add_argument(
+        "--packets", type=int, default=None, help="packets per flow per run"
+    )
+    parser.add_argument(
+        "--payload-bits", type=int, default=None, help="payload size in bits"
+    )
+    _add_engine_arguments(parser)
     return parser
 
 
@@ -84,6 +132,25 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _scenario_config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Scenario config: ``--quick`` sets the smoke-test base, flags override."""
+    base = (
+        ExperimentConfig.quick(seed=args.seed)
+        if args.quick
+        else ExperimentConfig(runs=10, packets_per_run=10, seed=args.seed)
+    )
+    overrides = {
+        key: value
+        for key, value in (
+            ("runs", args.runs),
+            ("packets_per_run", args.packets),
+            ("payload_bits", args.payload_bits),
+        )
+        if value is not None
+    }
+    return base.with_overrides(**overrides) if overrides else base
+
+
 def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
     cache_dir = args.cache_dir
     if cache_dir is None and args.resume:
@@ -91,9 +158,28 @@ def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
     return ExperimentEngine(workers=args.workers, cache_dir=cache_dir)
 
 
+def run_scenario_main(argv: List[str]) -> int:
+    """Entry point of the ``run`` subcommand; returns a process exit code."""
+    args = build_scenario_parser().parse_args(argv)
+    try:
+        config = _scenario_config_from_args(args)
+        engine = _engine_from_args(args)
+        report = run_scenario(
+            SCENARIOS[args.scenario], config, engine=engine, quick=args.quick
+        )
+    except ConfigurationError as error:
+        print(f"anc-repro: error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "run":
+        return run_scenario_main(arguments[1:])
+    args = build_parser().parse_args(arguments)
     try:
         config = _config_from_args(args)
         engine = _engine_from_args(args)

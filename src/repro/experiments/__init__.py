@@ -13,6 +13,14 @@ Each module reproduces one figure:
   across operating SNR, compared against the Theorem 8.1 prediction.
 * :mod:`repro.experiments.summary` — the §11.3 summary-of-results table.
 
+Beyond the figures, the *scenario* registry
+(:mod:`repro.experiments.scenarios`) hosts N-node workloads declared as
+data — topology generator + flows + sweep axis — and runs them through
+the same engine; :mod:`repro.experiments.chain_sweep` (throughput gain vs
+chain length) and :mod:`repro.experiments.mesh_sweep` (multi-flow random
+meshes) are the shipped examples, dispatched from the CLI as
+``python -m repro.cli run <scenario>``.
+
 All runners are deterministic given an :class:`ExperimentConfig` seed and
 scale from quick CI-sized runs to paper-scale runs by changing the config.
 Their Monte-Carlo trials execute through the
@@ -32,6 +40,17 @@ from repro.experiments.snr_sweep import SNRPoint, run_snr_sweep
 from repro.experiments.capacity_fig7 import run_capacity_experiment
 from repro.experiments.summary import run_summary
 from repro.experiments.runner import RUNNERS, RunnerSpec, available_runners, get_runner
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    ScenarioReport,
+    ScenarioSpec,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+)
+from repro.experiments import chain_sweep as _chain_sweep  # noqa: F401  (registers)
+from repro.experiments import mesh_sweep as _mesh_sweep  # noqa: F401  (registers)
 
 __all__ = [
     "EngineStats",
@@ -39,10 +58,17 @@ __all__ = [
     "ExperimentEngine",
     "RUNNERS",
     "RunnerSpec",
+    "SCENARIOS",
     "SIRPoint",
     "SNRPoint",
+    "ScenarioReport",
+    "ScenarioSpec",
     "available_runners",
+    "available_scenarios",
     "get_runner",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
     "run_alice_bob_experiment",
     "run_capacity_experiment",
     "run_chain_experiment",

@@ -65,6 +65,7 @@ class ExperimentConfig:
     seed: int = 20070823
 
     def __post_init__(self) -> None:
+        """Validate the configured ranges."""
         if self.runs <= 0:
             raise ConfigurationError("runs must be positive")
         if self.packets_per_run <= 0:

@@ -11,10 +11,26 @@ for deliberately concurrent transmissions.
 
 from repro.mac.schedule import ScheduledTransmission, Slot, Schedule
 from repro.mac.optimal import OptimalScheduler
+from repro.mac.planner import (
+    ChainPipelinePlan,
+    MeshSchedule,
+    PhaseTemplate,
+    RelayExchangePlan,
+    plan_chain_pipeline,
+    plan_mesh_exchanges,
+    plan_relay_exchange,
+)
 
 __all__ = [
+    "ChainPipelinePlan",
+    "MeshSchedule",
     "OptimalScheduler",
+    "PhaseTemplate",
+    "RelayExchangePlan",
     "Schedule",
     "ScheduledTransmission",
     "Slot",
+    "plan_chain_pipeline",
+    "plan_mesh_exchanges",
+    "plan_relay_exchange",
 ]

@@ -30,6 +30,7 @@ class OptimalScheduler:
         overlap_model: Optional[OverlapModel] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
+        """Create a scheduler; ``overlap_model``/``rng`` feed the trigger offsets."""
         self._rng = rng if rng is not None else np.random.default_rng()
         self.trigger_scheduler = TriggerScheduler(overlap_model=overlap_model, rng=self._rng)
 

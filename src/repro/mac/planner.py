@@ -1,0 +1,372 @@
+"""ANC-aware schedule planning for arbitrary topologies and flow sets.
+
+The paper's evaluation runs on an *optimal* MAC (§11.1): the scheduler
+knows the topology and the traffic and arranges transmissions so that the
+only collisions are the ones analog network coding wants.  The seed
+reproduction hand-coded that schedule separately inside each figure
+runner; this module computes it from first principles so any
+topology/flow combination produced by :mod:`repro.network.generator` gets
+the same treatment.
+
+Three planners cover the workload shapes the scenario subsystem ships:
+
+* :func:`plan_chain_pipeline` — a single flow along a K-hop chain.  With
+  ``coding="anc"`` transmitters are spaced *two* positions apart, so every
+  interior receiver deliberately hears the collision of its predecessor's
+  new packet and its successor's forwarded packet — which it can decode
+  because it forwarded the interfering packet itself one phase earlier
+  (§2b generalized to any K).  With ``coding="plain"`` transmitters are
+  spaced *three* apart: the closest spacing that is collision-free under
+  the chain's radio ranges, i.e. classic spatial-reuse pipelining.
+* :func:`plan_relay_exchange` — two flows crossing at a shared relay (the
+  Alice–Bob / "X" shape): one deliberately-concurrent uplink slot into the
+  relay followed by one amplify-and-forward broadcast slot, with the side
+  information each destination will cancel tracked per destination.
+* :func:`plan_mesh_exchanges` — a whole flow set over an arbitrary mesh:
+  greedily pairs flows that cross at a shared relay with side information
+  available into ANC exchanges and leaves the rest to plain routing.
+
+The plans are *structure*, not executed schedules: they name which
+positions may transmit in which phase, who must listen, and which
+receivers are deliberate-collision receivers.  The signal-level executors
+in :mod:`repro.protocols` turn them into actual slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, TopologyError
+from repro.network.flows import Flow
+from repro.network.topology import Topology
+
+#: Transmitter spacing (in chain positions) per coding discipline: ANC
+#: tolerates deliberate collisions two hops apart; plain routing (and
+#: digital coding, which finds no XOR opportunity on a one-way chain)
+#: needs three to stay collision-free.
+CHAIN_STRIDES: Dict[str, int] = {"anc": 2, "plain": 3}
+
+
+@dataclass(frozen=True)
+class PhaseTemplate:
+    """One phase of a pipelined chain schedule.
+
+    Attributes
+    ----------
+    transmit_positions:
+        1-based positions along the path that are *allowed* to transmit in
+        this phase (a position only actually transmits when it holds a
+        packet, or is the source with packets left to inject).
+    listen_positions:
+        Positions whose predecessor may transmit — the MAC tells exactly
+        these nodes to listen, whether or not their predecessor ends up
+        transmitting this round.
+    collision_positions:
+        The subset of listeners whose *successor* may also transmit: these
+        receivers deliberately capture a two-packet collision and decode
+        it with ANC (the interfering packet is the one they forwarded a
+        phase earlier).
+    """
+
+    transmit_positions: Tuple[int, ...]
+    listen_positions: Tuple[int, ...]
+    collision_positions: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ChainPipelinePlan:
+    """The optimal-MAC schedule for one flow pipelined down a chain.
+
+    Attributes
+    ----------
+    path:
+        Node ids along the route, source first.
+    stride:
+        Spacing between simultaneously transmitting positions (2 for ANC,
+        3 for collision-free plain routing).
+    phases:
+        The repeating phase cycle, ordered so a packet injected by the
+        source advances one hop per cycle position.
+    """
+
+    path: Tuple[int, ...]
+    stride: int
+    phases: Tuple[PhaseTemplate, ...]
+
+    @property
+    def hops(self) -> int:
+        """Number of hops the flow traverses."""
+        return len(self.path) - 1
+
+    @property
+    def has_deliberate_collisions(self) -> bool:
+        """True when any phase schedules a deliberate collision (ANC)."""
+        return any(phase.collision_positions for phase in self.phases)
+
+    def node_at(self, position: int) -> int:
+        """Node id occupying a 1-based chain position."""
+        return self.path[position - 1]
+
+
+def plan_chain_pipeline(
+    topology: Topology,
+    path: Sequence[int],
+    coding: str = "anc",
+) -> ChainPipelinePlan:
+    """Compute the pipelined optimal-MAC schedule for one chain flow.
+
+    Parameters
+    ----------
+    topology:
+        The network; every consecutive path pair must be a routable link.
+    path:
+        Node ids from source to destination (at least 3 nodes / 2 hops).
+    coding:
+        ``"anc"`` for the stride-2 schedule with deliberate collisions,
+        ``"plain"`` for the stride-3 collision-free spatial-reuse
+        schedule (also what COPE-style digital coding degenerates to on a
+        unidirectional flow, where it has nothing to XOR).
+
+    Returns
+    -------
+    ChainPipelinePlan
+        The repeating phase cycle; phase ``i`` of the cycle lets
+        positions congruent to ``(2 + i) mod stride`` transmit, so the
+        cycle starts with the position right after the source's first
+        hand-off and flows forward.
+    """
+    if coding not in CHAIN_STRIDES:
+        raise ConfigurationError(
+            f"unknown chain coding {coding!r}; choose from {', '.join(CHAIN_STRIDES)}"
+        )
+    nodes = tuple(int(p) for p in path)
+    if len(nodes) < 3:
+        raise ConfigurationError("a pipelined chain needs at least 2 hops (3 nodes)")
+    if len(set(nodes)) != len(nodes):
+        raise ConfigurationError("a chain path cannot revisit a node")
+    for a, b in zip(nodes[:-1], nodes[1:]):
+        if not topology.is_routable(a, b):
+            raise TopologyError(f"path hop {a}->{b} is not a routable link")
+
+    stride = CHAIN_STRIDES[coding]
+    length = len(nodes)
+    phases: List[PhaseTemplate] = []
+    for cycle_index in range(stride):
+        residue = (2 + cycle_index) % stride
+        transmit = tuple(
+            pos for pos in range(1, length) if pos % stride == residue
+        )
+        if not transmit:
+            continue
+        listen = tuple(pos for pos in range(2, length + 1) if pos - 1 in transmit)
+        collisions = tuple(pos for pos in listen if pos + 1 in transmit)
+        phases.append(
+            PhaseTemplate(
+                transmit_positions=transmit,
+                listen_positions=listen,
+                collision_positions=collisions,
+            )
+        )
+    return ChainPipelinePlan(path=nodes, stride=stride, phases=tuple(phases))
+
+
+#: How a destination obtains the side information it cancels: it is the
+#: *source* of the paired reverse flow ("reverse", Alice–Bob) or it must
+#: overhear the paired sender's uplink transmission ("overhear", the "X").
+SIDE_INFO_MODES = ("reverse", "overhear")
+
+
+@dataclass(frozen=True)
+class RelayExchangePlan:
+    """The two-slot ANC schedule for two flows crossing at a shared relay.
+
+    Attributes
+    ----------
+    relay:
+        The shared relay node that captures and rebroadcasts the collision.
+    flow_a / flow_b:
+        The two crossing flows (equal packet counts).
+    uplink_senders:
+        Both flow sources — they transmit *concurrently* in slot 1, the
+        deliberate collision at the heart of ANC.
+    uplink_receivers:
+        Who listens during the collision slot: always the relay, plus both
+        destinations when they must overhear their side information.
+    downlink_receivers:
+        Who listens to the amplify-and-forward broadcast in slot 2.
+    side_info:
+        Per-destination mode from :data:`SIDE_INFO_MODES`.
+    """
+
+    relay: int
+    flow_a: Flow
+    flow_b: Flow
+    uplink_senders: Tuple[int, int]
+    uplink_receivers: Tuple[int, ...]
+    downlink_receivers: Tuple[int, int]
+    side_info: Dict[int, str]
+
+    @property
+    def overhearing(self) -> bool:
+        """True when either destination must overhear its side packet."""
+        return any(mode == "overhear" for mode in self.side_info.values())
+
+
+def _side_info_mode(
+    topology: Topology, paired_source: int, destination: int
+) -> Optional[str]:
+    """How ``destination`` can learn the packet sent by ``paired_source``."""
+    if destination == paired_source:
+        return "reverse"
+    if topology.in_range(paired_source, destination):
+        return "overhear"
+    return None
+
+
+def plan_relay_exchange(
+    topology: Topology,
+    flow_a: Flow,
+    flow_b: Flow,
+    relay: Optional[int] = None,
+    overhearing: Optional[bool] = None,
+) -> RelayExchangePlan:
+    """Plan the two-slot ANC exchange for two flows crossing at a relay.
+
+    Parameters
+    ----------
+    topology:
+        The network the exchange runs over.
+    flow_a / flow_b:
+        The crossing flows; both must be 2-hop flows through the relay.
+    relay:
+        The shared relay.  ``None`` auto-detects it as the common middle
+        node of both flows' shortest routable paths.
+    overhearing:
+        Force the side-information mode: ``True`` requires both
+        destinations to overhear, ``False`` requires both flows to be
+        reverses of each other, ``None`` picks per destination.
+
+    Raises
+    ------
+    ConfigurationError
+        If the flows do not cross at the relay, or a destination has no
+        way to obtain the side information it would need to decode.
+    """
+    if flow_a.packets != flow_b.packets:
+        raise ConfigurationError(
+            "ANC pairing requires both flows to carry the same packet count"
+        )
+    if flow_a.source == flow_b.source:
+        raise ConfigurationError("crossing flows need distinct sources")
+    if flow_a.destination == flow_b.destination:
+        raise ConfigurationError("crossing flows need distinct destinations")
+
+    if relay is None:
+        middles_a = set(topology.shortest_path(flow_a.source, flow_a.destination)[1:-1])
+        middles_b = set(topology.shortest_path(flow_b.source, flow_b.destination)[1:-1])
+        shared = sorted(middles_a & middles_b)
+        if not shared:
+            raise ConfigurationError("flows do not share a relay node")
+        relay = shared[0]
+    relay = int(relay)
+
+    for flow in (flow_a, flow_b):
+        if relay in (flow.source, flow.destination):
+            raise ConfigurationError("the relay cannot be a flow endpoint")
+        if not topology.is_routable(flow.source, relay) or not topology.is_routable(
+            relay, flow.destination
+        ):
+            raise ConfigurationError(
+                f"flow {flow.source}->{flow.destination} does not cross relay {relay}"
+            )
+
+    side_info: Dict[int, str] = {}
+    for destination, paired_source in (
+        (flow_a.destination, flow_b.source),
+        (flow_b.destination, flow_a.source),
+    ):
+        mode = _side_info_mode(topology, paired_source, destination)
+        if overhearing is True:
+            mode = "overhear" if topology.in_range(paired_source, destination) else None
+        elif overhearing is False and mode == "overhear":
+            mode = None
+        if mode is None:
+            raise ConfigurationError(
+                f"destination {destination} has no side information for the "
+                f"packet sent by {paired_source}"
+            )
+        side_info[destination] = mode
+
+    needs_overhearing = any(mode == "overhear" for mode in side_info.values())
+    uplink_receivers: Tuple[int, ...] = (relay,)
+    if needs_overhearing:
+        uplink_receivers = (relay, flow_a.destination, flow_b.destination)
+    return RelayExchangePlan(
+        relay=relay,
+        flow_a=flow_a,
+        flow_b=flow_b,
+        uplink_senders=(flow_a.source, flow_b.source),
+        uplink_receivers=uplink_receivers,
+        downlink_receivers=(flow_a.destination, flow_b.destination),
+        side_info=side_info,
+    )
+
+
+@dataclass(frozen=True)
+class MeshSchedule:
+    """Partition of a mesh flow set into ANC exchanges and routed leftovers.
+
+    Attributes
+    ----------
+    exchanges:
+        Relay-exchange plans for the flow pairs the scheduler matched.
+    routed:
+        Flows with no ANC opportunity; they run over plain routing.
+    """
+
+    exchanges: Tuple[RelayExchangePlan, ...]
+    routed: Tuple[Flow, ...]
+
+    @property
+    def paired_flows(self) -> int:
+        """Number of flows scheduled into ANC exchanges."""
+        return 2 * len(self.exchanges)
+
+
+def plan_mesh_exchanges(topology: Topology, flows: Sequence[Flow]) -> MeshSchedule:
+    """Greedily pair mesh flows into ANC relay exchanges.
+
+    Two flows qualify as a pair when they cross at a shared relay (both
+    are 2-hop flows whose shortest routable paths share a middle node),
+    their four endpoint roles do not conflict with half-duplex operation,
+    and *both* destinations can obtain their side information the same way
+    (both "reverse" or both "overhear") — the uniform-mode restriction
+    matches the relay-protocol executor's contract.  Pairing is greedy in
+    flow order, so the result is deterministic for a given flow list.
+    """
+    remaining = list(flows)
+    exchanges: List[RelayExchangePlan] = []
+    index_a = 0
+    while index_a < len(remaining):
+        flow_a = remaining[index_a]
+        matched = None
+        for index_b in range(index_a + 1, len(remaining)):
+            flow_b = remaining[index_b]
+            try:
+                plan = plan_relay_exchange(topology, flow_a, flow_b)
+            except (ConfigurationError, TopologyError):
+                continue
+            modes = set(plan.side_info.values())
+            if len(modes) != 1:
+                continue
+            matched = (index_b, plan)
+            break
+        if matched is None:
+            index_a += 1
+            continue
+        index_b, plan = matched
+        exchanges.append(plan)
+        del remaining[index_b]
+        del remaining[index_a]
+    return MeshSchedule(exchanges=tuple(exchanges), routed=tuple(remaining))

@@ -26,6 +26,7 @@ class ScheduledTransmission:
     start_offset: int = 0
 
     def __post_init__(self) -> None:
+        """Validate the offset and the role."""
         if self.start_offset < 0:
             raise ConfigurationError("start offsets must be non-negative")
         if self.role not in {"data", "forward", "relay", "xor", "trigger"}:
@@ -40,6 +41,7 @@ class Slot:
     label: str = ""
 
     def __post_init__(self) -> None:
+        """Validate the slot's transmissions."""
         if not self.transmissions:
             raise ConfigurationError("a slot must contain at least one transmission")
         senders = [t.sender for t in self.transmissions]
@@ -48,6 +50,7 @@ class Slot:
 
     @property
     def senders(self) -> Tuple[int, ...]:
+        """Node ids transmitting in this slot, in transmission order."""
         return tuple(t.sender for t in self.transmissions)
 
     @property
@@ -63,15 +66,19 @@ class Schedule:
     slots: List[Slot] = field(default_factory=list)
 
     def append(self, slot: Slot) -> None:
+        """Add one slot to the end of the schedule."""
         self.slots.append(slot)
 
     def extend(self, slots: Sequence[Slot]) -> None:
+        """Add several slots to the end of the schedule, in order."""
         self.slots.extend(slots)
 
     def __len__(self) -> int:
+        """Number of slots in the schedule."""
         return len(self.slots)
 
     def __iter__(self) -> Iterator[Slot]:
+        """Iterate over the slots in order."""
         return iter(self.slots)
 
     @property

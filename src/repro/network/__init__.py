@@ -1,7 +1,9 @@
 """Network layer: topologies, the wireless medium and the slot simulator.
 
-The evaluation runs on three canonical topologies (Alice–Bob, the 3-hop
-chain and the "X"), each described by a :class:`Topology` of nodes and
+The evaluation runs on the paper's three canonical topologies (Alice–Bob,
+the 3-hop chain and the "X") plus the parameterized families produced by
+:mod:`repro.network.generator` (chains of any length, stars, seeded
+random meshes), each described by a :class:`Topology` of nodes and
 directed :class:`~repro.channel.link.Link` parameters.  The
 :class:`WirelessMedium` computes, for every receiver, the superposition of
 all concurrent in-range transmissions plus receiver noise — which is all a
@@ -19,15 +21,29 @@ from repro.network.topologies import (
 from repro.network.medium import Transmission, WirelessMedium
 from repro.network.simulator import SlotResult, SlotSimulator
 from repro.network.flows import Flow
+from repro.network.generator import (
+    GENERATORS,
+    available_generators,
+    generate_chain,
+    generate_random_mesh,
+    generate_star,
+    get_generator,
+)
 
 __all__ = [
     "Flow",
+    "GENERATORS",
     "SlotResult",
     "SlotSimulator",
     "Topology",
     "Transmission",
     "WirelessMedium",
     "alice_bob_topology",
+    "available_generators",
     "chain_topology",
+    "generate_chain",
+    "generate_random_mesh",
+    "generate_star",
+    "get_generator",
     "x_topology",
 ]

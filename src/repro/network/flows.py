@@ -23,6 +23,7 @@ class Flow:
     packets: int
 
     def __post_init__(self) -> None:
+        """Validate the flow's endpoints and demand."""
         if self.source == self.destination:
             raise ConfigurationError("a flow's source and destination must differ")
         if self.packets <= 0:
@@ -34,4 +35,5 @@ class Flow:
         return Flow(source=self.destination, destination=self.source, packets=self.packets)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Debugging representation."""
         return f"Flow({self.source}->{self.destination}, packets={self.packets})"

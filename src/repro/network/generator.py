@@ -1,0 +1,217 @@
+"""Parameterized topology generators for arbitrary N-node scenarios.
+
+The paper evaluates ANC on three fixed topologies; the scenario subsystem
+generalizes that to whole *families* of workloads.  Every generator here
+takes the same three ingredients — a :class:`ChannelConditions` description
+of the radio environment, a seeded ``numpy`` generator, and a handful of
+shape parameters — and returns a validated
+:class:`~repro.network.topology.Topology`:
+
+* :func:`generate_chain` — a linear chain of ``hops`` hops (the Fig. 2
+  shape at arbitrary length, the substrate of the chain-length sweep);
+* :func:`generate_star` — ``leaves`` endpoints around a central router,
+  the natural host for many crossing 2-hop flows;
+* :func:`generate_random_mesh` — ``nodes`` radios dropped uniformly into a
+  unit square and linked when within ``radius``, with distance-dependent
+  attenuation; disconnected components are stitched together so every
+  flow remains routable.
+
+The :data:`GENERATORS` registry maps generator names to factories so a
+:class:`~repro.experiments.scenarios.ScenarioSpec` can name its topology as
+data (``topology="random_mesh"``) rather than code; :func:`get_generator`
+resolves the name at run time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.network.topologies import ChannelConditions, _draw_link, chain_topology
+from repro.network.topology import Topology
+
+#: Signature every registered generator satisfies.
+GeneratorFn = Callable[..., Topology]
+
+
+def generate_chain(
+    conditions: Optional[ChannelConditions] = None,
+    rng: Optional[np.random.Generator] = None,
+    hops: int = 3,
+) -> Topology:
+    """A linear chain ``1 -> 2 -> ... -> hops + 1`` of ``hops`` hops.
+
+    Thin wrapper over :func:`~repro.network.topologies.chain_topology`
+    registered under the generator-registry calling convention; node ids
+    are consecutive integers starting at 1 and only adjacent nodes are in
+    radio range of each other.
+    """
+    return chain_topology(conditions, rng, hops=hops)
+
+
+def generate_star(
+    conditions: Optional[ChannelConditions] = None,
+    rng: Optional[np.random.Generator] = None,
+    leaves: int = 4,
+    hub: int = 0,
+) -> Topology:
+    """A star: ``leaves`` endpoint nodes around one central router.
+
+    Every leaf is in range of the hub and of nothing else, so every flow
+    between two leaves is a 2-hop path crossing the hub — the shape that
+    maximises relay-crossing ANC opportunities (the "X" topology is the
+    4-leaf star plus overhearing links).
+
+    Parameters
+    ----------
+    conditions:
+        Channel statistics each hub<->leaf link is drawn from.
+    rng:
+        Seeded generator for the per-link draws.
+    leaves:
+        Number of endpoint nodes (ids ``hub + 1 .. hub + leaves``).
+    hub:
+        Node id of the central router.
+    """
+    if leaves < 2:
+        raise ConfigurationError("a star needs at least 2 leaves")
+    cond = conditions if conditions is not None else ChannelConditions()
+    generator = rng if rng is not None else np.random.default_rng()
+    topology = Topology()
+    leaf_ids = [hub + offset for offset in range(1, leaves + 1)]
+    for node in [hub] + leaf_ids:
+        topology.add_node(node, noise_power=cond.noise_power)
+    for leaf in leaf_ids:
+        topology.add_symmetric_link(
+            leaf, hub, _draw_link(cond, generator), _draw_link(cond, generator)
+        )
+    topology.validate()
+    return topology
+
+
+def generate_random_mesh(
+    conditions: Optional[ChannelConditions] = None,
+    rng: Optional[np.random.Generator] = None,
+    nodes: int = 10,
+    radius: float = 0.45,
+) -> Topology:
+    """A seeded random geometric mesh of ``nodes`` radios in a unit square.
+
+    Node positions are drawn uniformly; every pair closer than ``radius``
+    gets a symmetric link whose mean attenuation decays linearly with
+    distance (nearby pairs approach ``conditions.mean_attenuation``, pairs
+    at the edge of the radio range fall towards
+    ``conditions.overhear_attenuation``).  If the resulting radio graph is
+    disconnected, the closest node pairs across components are linked so
+    every flow stays routable — the generator guarantees a connected
+    topology for any seed.
+
+    Parameters
+    ----------
+    conditions:
+        Channel statistics the per-link parameters are drawn from.
+    rng:
+        Seeded generator; placement and link draws both come from it, so
+        the same seed always yields the same mesh.
+    nodes:
+        Number of radios (ids ``1 .. nodes``).
+    radius:
+        Radio range as a fraction of the unit square's side.
+    """
+    if nodes < 3:
+        raise ConfigurationError("a mesh needs at least 3 nodes")
+    if not 0.0 < radius <= np.sqrt(2.0):
+        raise ConfigurationError("radius must lie in (0, sqrt(2)]")
+    cond = conditions if conditions is not None else ChannelConditions()
+    generator = rng if rng is not None else np.random.default_rng()
+    node_ids = list(range(1, nodes + 1))
+    positions = {node: generator.uniform(0.0, 1.0, size=2) for node in node_ids}
+
+    topology = Topology()
+    for node in node_ids:
+        topology.add_node(node, noise_power=cond.noise_power)
+
+    def _link_pair(a: int, b: int) -> None:
+        distance = float(np.linalg.norm(positions[a] - positions[b]))
+        # Linear decay from the main-link attenuation at zero distance to
+        # the overhearing level at the edge of the radio range.
+        span = max(radius, distance)
+        fraction = min(distance / span, 1.0)
+        attenuation = (
+            cond.mean_attenuation
+            - (cond.mean_attenuation - cond.overhear_attenuation) * fraction
+        )
+        topology.add_symmetric_link(
+            a,
+            b,
+            _draw_link(cond, generator, attenuation=attenuation),
+            _draw_link(cond, generator, attenuation=attenuation),
+        )
+
+    for index, a in enumerate(node_ids):
+        for b in node_ids[index + 1 :]:
+            if float(np.linalg.norm(positions[a] - positions[b])) <= radius:
+                _link_pair(a, b)
+
+    for a, b in _component_bridges(topology, positions):
+        _link_pair(a, b)
+
+    topology.validate()
+    return topology
+
+
+def _component_bridges(
+    topology: Topology, positions: Dict[int, np.ndarray]
+) -> List[Tuple[int, int]]:
+    """Closest cross-component node pairs needed to connect the radio graph.
+
+    Components are merged greedily: while more than one remains, the
+    geometrically closest pair of nodes living in different components is
+    bridged.  Deterministic given the positions (ties broken by node id).
+    """
+    import networkx as nx
+
+    bridges: List[Tuple[int, int]] = []
+    undirected = topology.graph.to_undirected()
+    components = [sorted(c) for c in nx.connected_components(undirected)]
+    while len(components) > 1:
+        best: Optional[Tuple[float, int, int]] = None
+        base = components[0]
+        for other in components[1:]:
+            for a in base:
+                for b in other:
+                    distance = float(np.linalg.norm(positions[a] - positions[b]))
+                    candidate = (distance, a, b)
+                    if best is None or candidate < best:
+                        best = candidate
+        assert best is not None
+        _, a, b = best
+        bridges.append((a, b))
+        undirected.add_edge(a, b)
+        components = [sorted(c) for c in nx.connected_components(undirected)]
+    return bridges
+
+
+#: Registry of topology generators, keyed by the name scenario specs use.
+GENERATORS: Dict[str, GeneratorFn] = {
+    "chain": generate_chain,
+    "star": generate_star,
+    "random_mesh": generate_random_mesh,
+}
+
+
+def available_generators() -> List[str]:
+    """Names of every registered topology generator, in registry order."""
+    return list(GENERATORS)
+
+
+def get_generator(name: str) -> GeneratorFn:
+    """Look up one topology generator by registry name."""
+    try:
+        return GENERATORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown topology generator {name!r}; choose from {', '.join(GENERATORS)}"
+        ) from None

@@ -42,6 +42,7 @@ class Transmission:
     start_offset: int = 0
 
     def __post_init__(self) -> None:
+        """Validate the start offset."""
         if self.start_offset < 0:
             raise SimulationError("start offsets must be non-negative")
 

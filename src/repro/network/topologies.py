@@ -73,6 +73,7 @@ class ChannelConditions:
     tx_amplitude: float = DEFAULT_TX_AMPLITUDE
 
     def __post_init__(self) -> None:
+        """Validate the channel statistics."""
         if self.mean_attenuation <= 0 or self.mean_attenuation > 1.5:
             raise ConfigurationError("mean_attenuation must be in (0, 1.5]")
         if self.attenuation_jitter < 0:

@@ -139,7 +139,9 @@ class Topology:
                 raise TopologyError(f"node {node} has no noise power configured")
 
     def __contains__(self, node_id: int) -> bool:
+        """Alias of :meth:`has_node`."""
         return self.has_node(node_id)
 
     def __len__(self) -> int:
+        """Number of nodes in the topology."""
         return self._graph.number_of_nodes()

@@ -46,6 +46,7 @@ class NodeConfig:
     decoder_config: Optional[DecoderConfig] = None
 
     def __post_init__(self) -> None:
+        """Validate the radio parameters."""
         if self.payload_bits <= 0:
             raise ConfigurationError("payload_bits must be positive")
         if self.tx_amplitude <= 0:
@@ -58,6 +59,7 @@ class Node:
     """A wireless node with full transmit and receive chains."""
 
     def __init__(self, node_id: int, config: Optional[NodeConfig] = None) -> None:
+        """Build the node's transmit and receive chains from its config."""
         if node_id < 0:
             raise ConfigurationError("node id must be non-negative")
         self.node_id = int(node_id)
@@ -148,4 +150,5 @@ class Node:
         return self.pipeline.frame_samples
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Debugging representation."""
         return f"Node(id={self.node_id}, payload_bits={self.config.payload_bits})"

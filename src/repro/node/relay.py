@@ -21,6 +21,7 @@ class RelayNode(Node):
     """A node that can rebroadcast received waveforms at its own power."""
 
     def __init__(self, node_id: int, config: Optional[NodeConfig] = None) -> None:
+        """Create the node plus its amplify-and-forward output stage."""
         super().__init__(node_id, config)
         self._relay_channel = AmplifyAndForwardRelayChannel(
             transmit_power=self.config.tx_amplitude ** 2

@@ -62,6 +62,7 @@ class RouterNode(RelayNode):
     """
 
     def __init__(self, node_id: int, neighbors: Iterable[int] = (), config=None) -> None:
+        """Create the relay plus the router's view of its neighbourhood."""
         super().__init__(node_id, config)
         self.neighbors: Set[int] = {int(n) for n in neighbors}
 

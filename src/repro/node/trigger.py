@@ -40,6 +40,7 @@ class Trigger:
     targets: Tuple[int, ...]
 
     def __post_init__(self) -> None:
+        """Validate the trigger's target set."""
         if len(self.targets) == 0:
             raise ConfigurationError("a trigger must name at least one target")
         if len(set(self.targets)) != len(self.targets):
@@ -62,6 +63,7 @@ class TriggerScheduler:
         overlap_model: Optional[OverlapModel] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
+        """Create a scheduler drawing offsets from ``overlap_model`` / ``rng``."""
         self._rng = rng if rng is not None else np.random.default_rng()
         self.overlap_model = (
             overlap_model if overlap_model is not None else OverlapModel(rng=self._rng)

@@ -12,16 +12,25 @@ optimal MAC, so that throughput differences are intrinsic to the schemes:
   :class:`~repro.protocols.anc.ANCChainProtocol` — analog network coding:
   deliberately concurrent transmissions, amplify-and-forward relaying
   (Alice–Bob, "X") or in-place interference decoding (chain).
+
+The scenario subsystem adds the plan-driven
+:class:`~repro.protocols.scheduled.ChainPipelineProtocol`, which executes
+the MAC planner's pipelined chain schedules for *any* hop count — the
+stride-2 ANC discipline with deliberate collisions, or the stride-3
+collision-free spatial-reuse discipline that plain routing and digital
+coding fall back to on a one-way chain.
 """
 
 from repro.protocols.base import ProtocolRun, RunResult
 from repro.protocols.traditional import TraditionalRouting
 from repro.protocols.cope import CopeRelayProtocol
 from repro.protocols.anc import ANCChainProtocol, ANCRelayProtocol
+from repro.protocols.scheduled import ChainPipelineProtocol
 
 __all__ = [
     "ANCChainProtocol",
     "ANCRelayProtocol",
+    "ChainPipelineProtocol",
     "CopeRelayProtocol",
     "ProtocolRun",
     "RunResult",

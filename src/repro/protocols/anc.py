@@ -17,6 +17,15 @@ Two protocol shapes cover the paper's evaluation:
   itself one slot earlier, while the destination hears only the third
   node.  Two slots move each packet three hops.
 
+Since the scenario subsystem landed, neither protocol hand-codes its slot
+structure: the relay protocol executes a
+:class:`~repro.mac.planner.RelayExchangePlan` and the chain protocol is a
+3-hop pin of the generalized
+:class:`~repro.protocols.scheduled.ChainPipelineProtocol`, both produced
+by the ANC-aware planner in :mod:`repro.mac.planner`.  The byte-for-byte
+figure benchmarks (Figs. 9, 10, 12) are the regression net proving the
+planned schedules match the formerly hand-rolled ones exactly.
+
 Both protocols enforce the paper's *incomplete overlap* requirement: the
 default overlap model never lets the second packet start before the first
 packet's pilot and header have gone out interference-free (§7.2).
@@ -24,22 +33,24 @@ packet's pilot and header have gone out interference-free (§7.2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.anc.pipeline import ReceiveOutcome, ReceiveResult
+from repro.anc.pipeline import ReceiveOutcome
 from repro.channel.interference import OverlapModel
 from repro.constants import DEFAULT_ANC_REDUNDANCY_OVERHEAD
 from repro.exceptions import ConfigurationError
 from repro.framing.header import Header
 from repro.framing.packet import Packet
 from repro.framing.pilot import PilotSequence
+from repro.mac.planner import RelayExchangePlan, plan_relay_exchange
 from repro.network.flows import Flow
 from repro.network.medium import Transmission
 from repro.network.simulator import SlotSimulator
 from repro.network.topology import Topology
 from repro.protocols.base import ProtocolRun, fresh_run_result, RunResult
+from repro.protocols.scheduled import ChainPipelineProtocol
 
 
 def default_min_offset(margin_bits: int = 24) -> int:
@@ -54,7 +65,14 @@ def default_min_offset(margin_bits: int = 24) -> int:
 
 
 class ANCRelayProtocol(ProtocolRun):
-    """Analog network coding through an amplify-and-forward router."""
+    """Analog network coding through an amplify-and-forward router.
+
+    The slot structure — who collides in the uplink slot, who must listen,
+    and how each destination obtains its side information — comes from the
+    MAC planner's :class:`~repro.mac.planner.RelayExchangePlan`, so the
+    same class also serves arbitrary crossing flow pairs found by the mesh
+    scheduler, not just the canonical figures.
+    """
 
     scheme_name = "anc"
 
@@ -79,12 +97,13 @@ class ANCRelayProtocol(ProtocolRun):
             redundancy_overhead=redundancy_overhead,
             rng=rng,
         )
-        if flow_a.packets != flow_b.packets:
-            raise ConfigurationError("ANC pairing requires both flows to carry the same packet count")
-        self.relay_id = int(relay)
+        self.plan: RelayExchangePlan = plan_relay_exchange(
+            topology, flow_a, flow_b, relay=relay, overhearing=bool(overhearing)
+        )
+        self.relay_id = self.plan.relay
         self.flow_a = flow_a
         self.flow_b = flow_b
-        self.overhearing = bool(overhearing)
+        self.overhearing = self.plan.overhearing
         self.overlap_model = (
             overlap_model
             if overlap_model is not None
@@ -108,15 +127,16 @@ class ANCRelayProtocol(ProtocolRun):
 
     # ------------------------------------------------------------------
     def _run_exchange(self, simulator: SlotSimulator, result: RunResult) -> None:
-        src_a, dst_a = self.flow_a.source, self.flow_a.destination
-        src_b, dst_b = self.flow_b.source, self.flow_b.destination
+        plan = self.plan
+        src_a, dst_a = plan.flow_a.source, plan.flow_a.destination
+        src_b, dst_b = plan.flow_b.source, plan.flow_b.destination
         node_a = self.nodes[src_a]
         node_b = self.nodes[src_b]
         packet_a = node_a.make_packet(dst_a, rng=self.rng)
         packet_b = node_b.make_packet(dst_b, rng=self.rng)
         result.packets_offered += 2
 
-        # Slot 1: triggered concurrent uplink transmissions.
+        # Slot 1: the plan's deliberately concurrent uplink transmissions.
         waveform_a = node_a.transmit(packet_a)
         waveform_b = node_b.transmit(packet_b)
         frame_samples = len(waveform_a)
@@ -129,22 +149,20 @@ class ANCRelayProtocol(ProtocolRun):
             1.0 - abs(offset_a - offset_b) / frame_samples
         )
 
-        uplink_receivers = [self.relay_id]
-        if self.overhearing:
-            uplink_receivers.extend([dst_a, dst_b])
         uplink = simulator.run_slot(
             [
                 Transmission(sender=src_a, waveform=waveform_a, start_offset=offset_a),
                 Transmission(sender=src_b, waveform=waveform_b, start_offset=offset_b),
             ],
-            receivers=uplink_receivers,
+            receivers=list(plan.uplink_receivers),
         )
 
-        # In the "X" topology the destinations must overhear the uplink
-        # slot to learn the packet they will later cancel.
+        # Destinations the plan marks as "overhear" must snoop the uplink
+        # collision to learn the packet they will later cancel.
         overheard: Dict[int, bool] = {}
-        if self.overhearing:
+        if plan.side_info[dst_b] == "overhear":
             overheard[dst_b] = self._try_overhear(dst_b, uplink.waveform_at(dst_b), packet_a)
+        if plan.side_info[dst_a] == "overhear":
             overheard[dst_a] = self._try_overhear(dst_a, uplink.waveform_at(dst_a), packet_b)
 
         # Slot 2: the router amplifies the collision and broadcasts it.
@@ -152,7 +170,7 @@ class ANCRelayProtocol(ProtocolRun):
         broadcast = relay_node.amplify_and_forward(uplink.waveform_at(self.relay_id))
         downlink = simulator.run_slot(
             [Transmission(sender=self.relay_id, waveform=broadcast)],
-            receivers=[dst_a, dst_b],
+            receivers=list(plan.downlink_receivers),
         )
 
         self._account_destination(
@@ -160,14 +178,14 @@ class ANCRelayProtocol(ProtocolRun):
             destination=dst_a,
             waveform=downlink.waveform_at(dst_a),
             truth=packet_a,
-            side_available=(not self.overhearing) or overheard.get(dst_a, False),
+            side_available=plan.side_info[dst_a] == "reverse" or overheard.get(dst_a, False),
         )
         self._account_destination(
             result,
             destination=dst_b,
             waveform=downlink.waveform_at(dst_b),
             truth=packet_b,
-            side_available=(not self.overhearing) or overheard.get(dst_b, False),
+            side_available=plan.side_info[dst_b] == "reverse" or overheard.get(dst_b, False),
         )
 
     # ------------------------------------------------------------------
@@ -218,8 +236,14 @@ class ANCRelayProtocol(ProtocolRun):
             result.packets_lost += 1
 
 
-class ANCChainProtocol(ProtocolRun):
-    """Analog network coding on the 3-hop chain (unidirectional traffic)."""
+class ANCChainProtocol(ChainPipelineProtocol):
+    """Analog network coding on the 3-hop chain (unidirectional traffic).
+
+    A 4-node pin of the generalized
+    :class:`~repro.protocols.scheduled.ChainPipelineProtocol`: the Fig. 12
+    experiment (and its byte-for-byte benchmark reference) runs exactly
+    the schedule the planner derives for the paper's canonical chain.
+    """
 
     scheme_name = "anc"
 
@@ -235,137 +259,17 @@ class ANCChainProtocol(ProtocolRun):
         rng: Optional[np.random.Generator] = None,
         topology_name: str = "chain",
     ) -> None:
+        if len(path) != 4:
+            raise ConfigurationError("the chain protocol expects a 4-node path (3 hops)")
         super().__init__(
             topology,
+            path=path,
+            coding="anc",
+            packets=packets,
             payload_bits=payload_bits,
             ber_acceptance=ber_acceptance,
             redundancy_overhead=redundancy_overhead,
+            overlap_model=overlap_model,
             rng=rng,
+            topology_name=topology_name,
         )
-        if len(path) != 4:
-            raise ConfigurationError("the chain protocol expects a 4-node path (3 hops)")
-        if packets <= 0:
-            raise ConfigurationError("packets must be positive")
-        self.path = tuple(int(p) for p in path)
-        self.packets = int(packets)
-        self.overlap_model = (
-            overlap_model
-            if overlap_model is not None
-            else OverlapModel(rng=self.rng, min_offset=default_min_offset())
-        )
-        self.topology_name = topology_name
-        for node_id in topology.nodes:
-            self.make_node(node_id)
-
-    # ------------------------------------------------------------------
-    def run(self) -> RunResult:
-        """Pipeline the packets down the chain, two slots per packet."""
-        n1, n2, n3, n4 = self.path
-        node1, node2, node3, node4 = (self.nodes[n] for n in self.path)
-        simulator = SlotSimulator(self.topology, rng=self.rng)
-        result = fresh_run_result(self, self.topology_name)
-
-        packets = [node1.make_packet(n4, rng=self.rng) for _ in range(self.packets)]
-        result.packets_offered = len(packets)
-
-        # Bootstrap: the first packet needs two conventional hops before the
-        # pipeline can run (N1 -> N2, then the steady-state pattern begins).
-        at_n2: Optional[Packet] = None  # packet currently held by N2
-        at_n3: Optional[Packet] = None  # packet currently held by N3
-        next_index = 0
-
-        waveform = node1.transmit(packets[next_index])
-        slot = simulator.run_slot(
-            [Transmission(sender=n1, waveform=waveform)], receivers=[n2]
-        )
-        receive = node2.receive(slot.waveform_at(n2))
-        at_n2 = receive.packet if receive.delivered else None
-        if at_n2 is None:
-            result.packets_lost += 1
-        next_index += 1
-
-        # Steady state: alternate (a) N2 forwards to N3 and (b) N1 + N3
-        # transmit concurrently, until every packet has been injected and
-        # the pipeline has drained.
-        pending_injection = next_index < len(packets)
-        while at_n2 is not None or at_n3 is not None or pending_injection:
-            # Slot (a): N2 forwards its packet to N3 (this transmission also
-            # acts as the trigger for the concurrent slot that follows).
-            if at_n2 is not None:
-                waveform = node2.forward(at_n2)
-                slot = simulator.run_slot(
-                    [Transmission(sender=n2, waveform=waveform)], receivers=[n3]
-                )
-                receive = node3.receive(slot.waveform_at(n3))
-                if receive.delivered and receive.packet is not None:
-                    at_n3 = receive.packet
-                    node3.remember_packet(receive.packet)
-                else:
-                    at_n3 = None
-                    result.packets_lost += 1
-                at_n2 = None
-
-            # Slot (b): N1 sends the next packet while N3 forwards its
-            # packet to N4 — concurrently.
-            transmissions: List[Transmission] = []
-            injected: Optional[Packet] = None
-            frame_samples = None
-            if pending_injection:
-                injected = packets[next_index]
-                wave_new = node1.transmit(injected)
-                frame_samples = len(wave_new)
-            wave_fwd = None
-            if at_n3 is not None:
-                wave_fwd = node3.forward(at_n3)
-                frame_samples = len(wave_fwd)
-
-            if injected is not None and wave_fwd is not None:
-                first_offset, second_offset = self.overlap_model.draw_offsets(frame_samples)
-                result.overlap_fractions.append(
-                    1.0 - abs(first_offset - second_offset) / frame_samples
-                )
-                transmissions.append(
-                    Transmission(sender=n1, waveform=wave_new, start_offset=first_offset)
-                )
-                transmissions.append(
-                    Transmission(sender=n3, waveform=wave_fwd, start_offset=second_offset)
-                )
-            elif injected is not None:
-                transmissions.append(Transmission(sender=n1, waveform=wave_new))
-            elif wave_fwd is not None:
-                transmissions.append(Transmission(sender=n3, waveform=wave_fwd))
-            else:
-                break
-
-            slot = simulator.run_slot(transmissions, receivers=[n2, n4])
-
-            # N4 receives the forwarded packet (it is out of N1's range).
-            if wave_fwd is not None:
-                receive4 = node4.receive(slot.waveform_at(n4))
-                if receive4.delivered and receive4.packet is not None:
-                    result.packets_delivered += 1
-                else:
-                    result.packets_lost += 1
-                at_n3 = None
-
-            # N2 decodes the new packet out of the collision (or cleanly, if
-            # N3 had nothing to forward this round).
-            if injected is not None:
-                receive2 = node2.receive(slot.waveform_at(n2))
-                ber = self.packet_ber(receive2.packet, injected)
-                if receive2.interfered:
-                    result.packet_bers.append(ber)
-                if receive2.packet is not None and self.counts_as_delivered(ber, receive2.crc_ok):
-                    # Forward the *original* payload: in a real system the
-                    # FEC would have repaired the residual errors the BER
-                    # acceptance models.
-                    at_n2 = injected
-                else:
-                    at_n2 = None
-                    result.packets_lost += 1
-                next_index += 1
-                pending_injection = next_index < len(packets)
-
-        result.air_time_samples = simulator.total_air_time
-        result.slots_used = simulator.slots_run
-        return result

@@ -8,7 +8,7 @@ receiver (``overlap_add``), and finally noise is added.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple, Union
+from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -24,7 +24,9 @@ def _as_samples(signal: SignalLike) -> np.ndarray:
     return np.asarray(signal, dtype=np.complex128)
 
 
-def delay_signal(signal: SignalLike, delay: int, total_length: int = None) -> ComplexSignal:
+def delay_signal(
+    signal: SignalLike, delay: int, total_length: Optional[int] = None
+) -> ComplexSignal:
     """Shift a signal later in time by ``delay`` zero samples.
 
     Parameters
@@ -66,7 +68,9 @@ def add_signals(signals: Iterable[SignalLike]) -> ComplexSignal:
     return ComplexSignal(np.sum(arrays, axis=0))
 
 
-def overlap_add(components: Sequence[Tuple[SignalLike, int]], total_length: int = None) -> ComplexSignal:
+def overlap_add(
+    components: Sequence[Tuple[SignalLike, int]], total_length: Optional[int] = None
+) -> ComplexSignal:
     """Sum signals that start at different sample offsets.
 
     Parameters

@@ -124,6 +124,100 @@ class TestBackwardDecoding:
         assert np.mean(alice_bits != frame_a.bits) < 0.02
 
 
+class TestBackwardEdgeCases:
+    """§7.4 boundary conditions: the reversed decode must handle the extremes."""
+
+    def test_zero_overlap_backward_is_rejected(self):
+        """Disjoint packets with the known one second: nothing to decode."""
+        received, frame_a, frame_b, _ = _make_collision(seed=30)
+        rng = np.random.default_rng(30)
+        framer = Framer()
+        modulator = MSKModulator(amplitude=1.0)
+        wave_a = modulator.modulate(frame_a.bits)
+        wave_b = modulator.modulate(frame_b.bits)
+        gap_offset = len(wave_a) + 40  # B starts after A has fully ended
+        combiner = InterferenceCombiner(noise_power=1e-3, rng=rng)
+        link = Link(attenuation=0.9, phase_shift=0.3, frequency_offset=0.01)
+        collision = combiner.combine(
+            [(wave_a, link, 0), (wave_b, link, gap_offset)], tail_padding=24
+        )
+        with pytest.raises(DecodingError):
+            # frame_b is the known one and starts second -> backward path.
+            InterferenceDecoder().decode(
+                collision.signal, frame_b.bits, known_offset=gap_offset,
+                unknown_offset=0, unknown_n_bits=len(frame_a.bits),
+            )
+
+    def test_full_overlap_of_known_frame_backward(self):
+        """A known burst fully inside the unknown frame's span still decodes.
+
+        Every sample of the known signal is interfered (no clean head or
+        tail for it), so the amplitude estimate must come from the
+        unknown-only region — exercised here through the reversed path.
+        """
+        rng = np.random.default_rng(31)
+        framer = Framer()
+        packet_b = Packet.random(2, 1, 20, 192, rng)
+        frame_b = framer.build(packet_b)
+        modulator = MSKModulator(amplitude=1.0)
+        wave_b = modulator.modulate(frame_b.bits)
+        known_bits = rng.integers(0, 2, size=160).astype(np.uint8)
+        wave_known = modulator.modulate(known_bits)
+        known_offset = 150
+        assert known_offset + len(wave_known) < len(wave_b)  # full containment
+        link_b = Link(attenuation=0.95, phase_shift=0.4, frequency_offset=0.015)
+        link_k = Link(attenuation=0.6, phase_shift=-0.8, frequency_offset=-0.01)
+        combiner = InterferenceCombiner(noise_power=1e-4, rng=rng)
+        collision = combiner.combine(
+            [(wave_b, link_b, 0), (wave_known, link_k, known_offset)], tail_padding=0
+        )
+        decoder = InterferenceDecoder()
+        bits, diagnostics = decoder.decode(
+            collision.signal, known_bits, known_offset=known_offset,
+            unknown_offset=0, unknown_n_bits=len(frame_b.bits),
+        )
+        assert diagnostics.reversed_decode
+        # The whole known burst is interference; everything else is clean.
+        assert diagnostics.overlap_samples == len(wave_known)
+        assert diagnostics.interfered_bits > 0
+        assert np.mean(bits != frame_b.bits) < 0.05
+
+    def test_unknown_frame_ends_exactly_at_waveform_boundary_forward(self):
+        """unknown_end == len(received) must decode, not raise."""
+        received, frame_a, frame_b, offset = _make_collision(seed=32)
+        exact_end = offset + len(frame_b.bits) + 1
+        trimmed = received.slice(0, exact_end)
+        bits, diagnostics = InterferenceDecoder().decode(
+            trimmed, frame_a.bits, known_offset=0, unknown_offset=offset,
+            unknown_n_bits=len(frame_b.bits),
+        )
+        assert not diagnostics.reversed_decode
+        assert np.mean(bits != frame_b.bits) < 0.05
+        # One sample shorter is genuinely too short and must raise.
+        with pytest.raises(DecodingError):
+            InterferenceDecoder().decode(
+                received.slice(0, exact_end - 1), frame_a.bits, 0, offset,
+                len(frame_b.bits),
+            )
+
+    def test_known_frame_ends_exactly_at_waveform_boundary_backward(self):
+        """The reversed decode with the known frame flush against the end.
+
+        When the waveform stops exactly where the second (known) frame
+        stops, the reversed stream places that frame at offset zero — the
+        boundary the §7.4 index arithmetic must get exactly right.
+        """
+        received, frame_a, frame_b, offset = _make_collision(seed=33)
+        exact_end = offset + len(frame_b.bits) + 1
+        trimmed = received.slice(0, exact_end)
+        bits, diagnostics = InterferenceDecoder().decode(
+            trimmed, frame_b.bits, known_offset=offset, unknown_offset=0,
+            unknown_n_bits=len(frame_a.bits),
+        )
+        assert diagnostics.reversed_decode
+        assert np.mean(bits != frame_a.bits) < 0.05
+
+
 class TestValidation:
     def test_rejects_zero_unknown_bits(self):
         received, frame_a, _, offset = _make_collision(seed=7)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import (
+    EXPERIMENTS,
+    SCENARIO_NAMES,
+    build_parser,
+    build_scenario_parser,
+    main,
+)
 
 
 class TestParser:
@@ -75,3 +81,40 @@ class TestMain:
         assert any(tmp_path.iterdir()), "trials should have been cached"
         assert main(base) == 0
         assert capsys.readouterr().out == first
+
+
+class TestScenarioCommand:
+    def test_all_scenarios_listed(self):
+        parser = build_scenario_parser()
+        assert set(SCENARIO_NAMES) == {"chain_sweep", "mesh_sweep"}
+        for name in SCENARIO_NAMES:
+            args = parser.parse_args([name, "--quick"])
+            assert args.scenario == name
+            assert args.quick is True
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_scenario_parser().parse_args(["does-not-exist"])
+
+    def test_chain_sweep_quick_runs(self, capsys):
+        assert main(["run", "chain_sweep", "--quick", "--runs", "1",
+                     "--packets", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "=== scenario chain_sweep ===" in out
+        assert "anc/traditional" in out
+
+    def test_mesh_sweep_quick_runs(self, capsys):
+        assert main(["run", "mesh_sweep", "--quick", "--runs", "1",
+                     "--packets", "2"]) == 0
+        assert "=== scenario mesh_sweep ===" in capsys.readouterr().out
+
+    def test_parallel_output_matches_serial(self, capsys):
+        base = ["run", "chain_sweep", "--quick", "--runs", "1", "--packets", "2"]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_invalid_workers_is_clean_error(self, capsys):
+        assert main(["run", "chain_sweep", "--quick", "--workers", "0"]) == 2
+        assert "workers must be a positive integer" in capsys.readouterr().err

@@ -1,0 +1,89 @@
+"""Tests for the parameterized topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.generator import (
+    GENERATORS,
+    available_generators,
+    generate_chain,
+    generate_random_mesh,
+    generate_star,
+    get_generator,
+)
+from repro.network.topologies import ChannelConditions
+
+CONDITIONS = ChannelConditions(snr_db=28.0)
+
+
+class TestRegistry:
+    def test_all_generators_listed(self):
+        assert available_generators() == ["chain", "star", "random_mesh"]
+
+    def test_lookup_by_name(self):
+        for name in available_generators():
+            assert get_generator(name) is GENERATORS[name]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_generator("torus")
+
+
+class TestChain:
+    def test_lengths(self):
+        for hops in (2, 3, 5, 8):
+            topo = generate_chain(CONDITIONS, np.random.default_rng(0), hops=hops)
+            assert len(topo) == hops + 1
+            assert topo.shortest_path(1, hops + 1) == list(range(1, hops + 2))
+
+    def test_only_adjacent_nodes_in_range(self):
+        topo = generate_chain(CONDITIONS, np.random.default_rng(1), hops=5)
+        assert topo.in_range(2, 3) and topo.in_range(3, 2)
+        assert not topo.in_range(1, 3)
+        assert not topo.in_range(2, 5)
+
+
+class TestStar:
+    def test_structure(self):
+        topo = generate_star(CONDITIONS, np.random.default_rng(2), leaves=5)
+        assert len(topo) == 6
+        for leaf in range(1, 6):
+            assert topo.in_range(leaf, 0) and topo.in_range(0, leaf)
+        assert not topo.in_range(1, 2)
+        assert topo.shortest_path(1, 4) == [1, 0, 4]
+
+    def test_too_few_leaves_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_star(CONDITIONS, np.random.default_rng(3), leaves=1)
+
+
+class TestRandomMesh:
+    def test_deterministic_given_seed(self):
+        first = generate_random_mesh(CONDITIONS, np.random.default_rng(7), nodes=10)
+        second = generate_random_mesh(CONDITIONS, np.random.default_rng(7), nodes=10)
+        assert sorted(first.graph.edges) == sorted(second.graph.edges)
+        for a, b in first.graph.edges:
+            assert first.link(a, b).attenuation == second.link(a, b).attenuation
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_connected(self, seed):
+        topo = generate_random_mesh(
+            CONDITIONS, np.random.default_rng(seed), nodes=10, radius=0.3
+        )
+        nodes = topo.nodes
+        for destination in nodes[1:]:
+            assert topo.shortest_path(nodes[0], destination)
+
+    def test_attenuation_decays_with_distance(self):
+        topo = generate_random_mesh(CONDITIONS, np.random.default_rng(11), nodes=12)
+        attenuations = [topo.link(a, b).attenuation for a, b in topo.graph.edges]
+        jitter = CONDITIONS.attenuation_jitter
+        assert max(attenuations) <= CONDITIONS.mean_attenuation + jitter + 1e-9
+        assert min(attenuations) >= 0.05
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            generate_random_mesh(CONDITIONS, np.random.default_rng(0), nodes=2)
+        with pytest.raises(ConfigurationError):
+            generate_random_mesh(CONDITIONS, np.random.default_rng(0), radius=0.0)

@@ -6,8 +6,9 @@ Self-contained (stdlib only) so it runs identically in CI and offline:
 * every relative link in ``README.md`` and ``docs/*.md`` must point at a
   file or directory that exists in the repo;
 * every public module, class, function and method in the documented
-  packages (``repro.experiments``, ``repro.network``) must carry a
-  docstring (a lightweight, dependency-free subset of ``pydocstyle``).
+  packages (``repro.experiments``, ``repro.network``, ``repro.mac``,
+  ``repro.node``) must carry a docstring (a lightweight, dependency-free
+  subset of ``pydocstyle``).
 
 Exit code 0 when clean; 1 with one line per finding otherwise.
 
@@ -28,7 +29,12 @@ from typing import Iterator, List
 DOC_GLOBS = ("README.md", "docs/*.md")
 
 #: Packages whose public API must be fully docstringed.
-DOCSTRING_PACKAGES = ("src/repro/experiments", "src/repro/network")
+DOCSTRING_PACKAGES = (
+    "src/repro/experiments",
+    "src/repro/network",
+    "src/repro/mac",
+    "src/repro/node",
+)
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 

@@ -25,7 +25,16 @@ from repro.anc.amplitude import (
     sigma_statistic,
 )
 from repro.anc.matching import MatchResult, match_phase_differences
+from repro.anc.batch import (
+    BatchMatchResult,
+    BatchPhaseSolutions,
+    batch_differential_bits,
+    batch_interference_cosine,
+    batch_match_phase_differences,
+    batch_phase_solutions,
+)
 from repro.anc.decoder import (
+    ANCDecoder,
     DecoderConfig,
     DecodeDiagnostics,
     InterferenceDecoder,
@@ -40,8 +49,11 @@ from repro.anc.alignment import (
 from repro.anc.pipeline import ReceivePipeline, ReceiveResult, ReceiveOutcome
 
 __all__ = [
+    "ANCDecoder",
     "AlignmentResult",
     "AmplitudeEstimate",
+    "BatchMatchResult",
+    "BatchPhaseSolutions",
     "DecodeDiagnostics",
     "DecoderConfig",
     "InterferenceDecoder",
@@ -52,6 +64,10 @@ __all__ = [
     "ReceiveResult",
     "SubtractionDecoder",
     "align_known_frame",
+    "batch_differential_bits",
+    "batch_interference_cosine",
+    "batch_match_phase_differences",
+    "batch_phase_solutions",
     "estimate_amplitudes",
     "estimate_amplitudes_with_known",
     "find_interference_start",

@@ -1,0 +1,260 @@
+"""Vectorized ANC decoding kernels over a batch of interfered blocks.
+
+These are the trial-batched counterparts of :mod:`repro.anc.lemma` and
+:mod:`repro.anc.matching`: one call computes the Lemma 6.1 phase
+solutions, the Eq. 7-8 phase-difference matching, and the clean-interval
+differential slicing for every trial of a ``(n_trials, n_samples)`` block
+at once.  :meth:`repro.anc.decoder.InterferenceDecoder.decode_batch`
+drives them after grouping trials by collision geometry.
+
+Bit-exactness contract
+----------------------
+Row ``i`` of every output is **bit-identical** to running the scalar
+kernel on row ``i`` of the input.  Two implementation rules make that
+hold and must be preserved when editing this module:
+
+* every array operation is elementwise (or a reduction the scalar path
+  performs over the very same values in the very same order), so IEEE-754
+  results cannot differ from the scalar path's; and
+* the handful of *scalar* products the reference path computes in Python
+  floats (``A**2``, ``B**2``, ``2AB``) are precomputed per trial with the
+  same Python-float arithmetic rather than re-derived with numpy array
+  power, because ``pow``-family library calls are not guaranteed to round
+  identically to the multiply sequence on every platform.
+
+``tests/properties/test_batch_equivalence.py`` enforces the contract with
+hypothesis-generated collisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DecodingError
+from repro.utils.angles import TWO_PI, wrap_angle
+from repro.utils.validation import ensure_positive
+
+#: np.isclose(x, -pi) threshold for finite x: ``atol + rtol * |-pi|`` with
+#: the isclose defaults, evaluated exactly as np.isclose evaluates it.
+_MINUS_PI_TOLERANCE = 1e-8 + 1e-5 * np.pi
+
+
+def _wrap_angle_fast(angle: np.ndarray) -> np.ndarray:
+    """Bit-identical fast path of :func:`repro.utils.angles.wrap_angle`.
+
+    Precondition: ``angle`` lies in ``(-2*pi, 2*pi]`` — always true here,
+    since every input is a difference of two already-wrapped angles.  Two
+    reference operations are then replaced by provably bit-identical
+    cheaper ones:
+
+    * ``np.mod(t, 2*pi)`` for the shifted ``t = angle + pi`` in
+      ``(-pi, 3*pi]`` reduces to a conditional ``t + 2*pi`` / ``t - 2*pi``
+      / ``t``.  The negative branch performs the identical IEEE addition
+      ``np.mod`` performs after its (exact) ``fmod``; the ``t >= 2*pi``
+      branch is exact by the Sterbenz lemma (``pi <= t <= 4*pi``), hence
+      equal to ``fmod``'s exact remainder.  Only the sign of a zero can
+      differ, and the subsequent ``- pi`` erases that.
+    * ``np.isclose(wrapped, -pi)`` for finite inputs reduces to
+      ``|wrapped + pi| <= atol + rtol * pi`` with the isclose defaults.
+
+    NaNs propagate identically (every comparison involving NaN is False
+    on both paths, leaving the NaN in place).
+    """
+    wrapped = angle + np.pi  # fresh array, safe to mutate in place
+    # Both masks are taken before either adjustment: a tiny negative
+    # shifted value rounds to exactly 2*pi after the addition, and
+    # np.mod's single-pass semantics must not see it subtracted again.
+    negative = wrapped < 0
+    overflow = wrapped >= TWO_PI
+    np.add(wrapped, TWO_PI, out=wrapped, where=negative)
+    np.subtract(wrapped, TWO_PI, out=wrapped, where=overflow)
+    wrapped -= np.pi
+    np.copyto(wrapped, np.pi, where=np.abs(wrapped + np.pi) <= _MINUS_PI_TOLERANCE)
+    return wrapped
+
+
+@dataclass(frozen=True)
+class BatchPhaseSolutions:
+    """Both Lemma 6.1 candidate phase pairs for every trial and sample.
+
+    All arrays have shape ``(n_trials, n_samples)``; trial ``i``'s rows
+    equal the scalar :class:`~repro.anc.lemma.PhaseSolutions` fields for
+    that trial's block and amplitudes.
+    """
+
+    theta1: np.ndarray
+    phi1: np.ndarray
+    theta2: np.ndarray
+    phi2: np.ndarray
+    cosine: np.ndarray
+
+    @property
+    def n_trials(self) -> int:
+        """Number of trials in the batch."""
+        return int(self.theta1.shape[0])
+
+    @property
+    def n_samples(self) -> int:
+        """Samples per trial."""
+        return int(self.theta1.shape[1])
+
+
+@dataclass(frozen=True)
+class BatchMatchResult:
+    """Output of the batched Eq. 7-8 matching step.
+
+    All arrays have shape ``(n_trials, n_intervals)``; trial ``i``'s rows
+    equal the scalar :class:`~repro.anc.matching.MatchResult` fields.
+    """
+
+    unknown_differences: np.ndarray
+    known_differences_selected: np.ndarray
+    match_errors: np.ndarray
+    bits: np.ndarray
+
+
+def _amplitude_products(
+    amplitudes_a: Sequence[float], amplitudes_b: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-trial ``(A, B, A^2, B^2, 2AB)`` columns, in Python-float arithmetic.
+
+    The scalar kernels compute these with Python floats; reproducing them
+    elementwise here (instead of ``array ** 2``) is what keeps the batch
+    path bit-identical on platforms whose ``pow`` is not correctly
+    rounded.  Returned as ``(n_trials, 1)`` columns ready to broadcast.
+    """
+    a_list = [ensure_positive(a, "amplitude_a") for a in amplitudes_a]
+    b_list = [ensure_positive(b, "amplitude_b") for b in amplitudes_b]
+    if len(a_list) != len(b_list):
+        raise DecodingError("amplitude_a and amplitude_b must have equal length")
+    column = lambda values: np.asarray(values, dtype=float)[:, None]  # noqa: E731
+    a = column(a_list)
+    b = column(b_list)
+    a_sq = column([value ** 2 for value in a_list])
+    b_sq = column([value ** 2 for value in b_list])
+    two_ab = column([2.0 * av * bv for av, bv in zip(a_list, b_list)])
+    return a, b, a_sq, b_sq, two_ab
+
+
+def batch_interference_cosine(
+    samples: np.ndarray,
+    amplitudes_a: Sequence[float],
+    amplitudes_b: Sequence[float],
+) -> np.ndarray:
+    """Per-trial ``D = cos(theta - phi)``, clipped to ``[-1, 1]``.
+
+    Row ``i`` equals :func:`repro.anc.lemma.interference_cosine` of row
+    ``i`` with that trial's amplitudes.
+    """
+    _, _, a_sq, b_sq, two_ab = _amplitude_products(amplitudes_a, amplitudes_b)
+    y = np.asarray(samples, dtype=np.complex128)
+    magnitude_sq = np.abs(y) ** 2
+    raw = (magnitude_sq - a_sq - b_sq) / two_ab
+    return np.clip(raw, -1.0, 1.0)
+
+
+def batch_phase_solutions(
+    samples: np.ndarray,
+    amplitudes_a: Sequence[float],
+    amplitudes_b: Sequence[float],
+) -> BatchPhaseSolutions:
+    """Both Lemma 6.1 solutions for every sample of every trial's block.
+
+    Parameters
+    ----------
+    samples:
+        Interfered complex blocks, shape ``(n_trials, n_samples)``.
+    amplitudes_a / amplitudes_b:
+        One known/unknown received-amplitude pair per trial.
+    """
+    a, b, a_sq, b_sq, two_ab = _amplitude_products(amplitudes_a, amplitudes_b)
+    y = np.asarray(samples, dtype=np.complex128)
+    if y.shape[1] == 0:
+        empty = np.zeros(y.shape, dtype=float)
+        return BatchPhaseSolutions(empty, empty, empty, empty, empty)
+    magnitude_sq = np.abs(y) ** 2
+    cosine = np.clip((magnitude_sq - a_sq - b_sq) / two_ab, -1.0, 1.0)
+    sine = np.sqrt(np.maximum(1.0 - cosine ** 2, 0.0))
+    # Branch 1: sin(phi - theta) = +sine.
+    theta1 = np.angle(y * (a + b * cosine - 1j * b * sine))
+    phi1 = np.angle(y * (b + a * cosine + 1j * a * sine))
+    # Branch 2: sin(phi - theta) = -sine.
+    theta2 = np.angle(y * (a + b * cosine + 1j * b * sine))
+    phi2 = np.angle(y * (b + a * cosine - 1j * a * sine))
+    return BatchPhaseSolutions(theta1=theta1, phi1=phi1, theta2=theta2, phi2=phi2, cosine=cosine)
+
+
+def batch_match_phase_differences(
+    solutions: BatchPhaseSolutions,
+    known_differences: np.ndarray,
+) -> BatchMatchResult:
+    """Pick the best candidate pair for every interval of every trial.
+
+    ``known_differences`` holds one ``delta theta_s`` row per trial, shape
+    ``(n_trials, n_samples - 1)``.  Candidate enumeration, the Eq. 8
+    error, and the argmin tie-break all mirror the scalar
+    :func:`repro.anc.matching.match_phase_differences` exactly.
+    """
+    known = np.asarray(known_differences, dtype=float)
+    n_samples = solutions.n_samples
+    if n_samples < 2:
+        raise DecodingError("at least two samples are required to form phase differences")
+    n_intervals = n_samples - 1
+    if known.shape != (solutions.n_trials, n_intervals):
+        raise DecodingError(
+            f"known_differences has shape {known.shape} but the batch has "
+            f"{solutions.n_trials} trials of {n_intervals} sample intervals"
+        )
+
+    theta = np.stack([solutions.theta1, solutions.theta2])  # (2, T, N+1)
+    phi = np.stack([solutions.phi1, solutions.phi2])
+
+    # Candidate differences for every (x, y) branch combination, per trial:
+    #   delta_theta[x, y, t, n] = theta_x[t, n + 1] - theta_y[t, n]
+    delta_theta = _wrap_angle_fast(theta[:, None, :, 1:] - theta[None, :, :, :-1])  # (2, 2, T, N)
+    # The phi candidates are wrapped lazily: only the selected (T, N)
+    # slice ever needs it, and wrap-then-select equals select-then-wrap
+    # elementwise, so this saves one full 4x-candidate wrap pass without
+    # touching a single output bit.
+    raw_delta_phi = phi[:, None, :, 1:] - phi[None, :, :, :-1]
+
+    # delta_theta lies in (-pi, pi], so the subtraction stays inside
+    # _wrap_angle_fast's (-2*pi, 2*pi] domain whenever the known
+    # differences are themselves wrapped (the decoder's always are:
+    # +/-pi/2).  For out-of-range callers fall back to the reference
+    # wrap — the scalar path uses it on the identical values, so both
+    # branches stay bit-identical to it.
+    known_wrapped = known.size == 0 or float(np.max(np.abs(known))) <= np.pi
+    error_wrap = _wrap_angle_fast if known_wrapped else wrap_angle
+    errors = np.abs(error_wrap(delta_theta - known[None, None, :, :]))  # (2, 2, T, N)
+    flat_errors = errors.reshape(4, solutions.n_trials, n_intervals)
+    best = np.argmin(flat_errors, axis=0)  # (T, N), same first-wins tie-break
+
+    flat_delta_phi = raw_delta_phi.reshape(4, solutions.n_trials, n_intervals)
+    flat_delta_theta = delta_theta.reshape(4, solutions.n_trials, n_intervals)
+    selector = best[None, :, :]
+    selected_phi = _wrap_angle_fast(np.take_along_axis(flat_delta_phi, selector, axis=0)[0])
+    selected_theta = np.take_along_axis(flat_delta_theta, selector, axis=0)[0]
+    selected_errors = np.take_along_axis(flat_errors, selector, axis=0)[0]
+
+    bits = (selected_phi >= 0).astype(np.uint8)
+    return BatchMatchResult(
+        unknown_differences=selected_phi,
+        known_differences_selected=selected_theta,
+        match_errors=selected_errors,
+        bits=bits,
+    )
+
+
+def batch_differential_bits(blocks: np.ndarray) -> np.ndarray:
+    """Standard differential MSK slicing of every trial's clean block.
+
+    Row ``i`` equals the scalar clean-interval fallback: the angle of the
+    conjugate product of consecutive samples, thresholded at zero.
+    """
+    y = np.asarray(blocks, dtype=np.complex128)
+    ratio = y[:, 1:] * np.conj(y[:, :-1])
+    return (np.angle(ratio) >= 0).astype(np.uint8)

@@ -20,11 +20,14 @@ Scenario sweeps from the registry in
 
 Monte-Carlo trials execute through the
 :class:`~repro.experiments.engine.ExperimentEngine`: ``--workers N`` fans
-them out over ``N`` processes (bit-identical to serial, just faster), and
-``--resume`` caches completed trials on disk so an interrupted paper-scale
-sweep picks up where it left off::
+them out over ``N`` processes (bit-identical to serial, just faster),
+``--batch-size`` ships workers whole trial blocks (identical results,
+less dispatch overhead for short trials — see ``docs/PERFORMANCE.md``),
+and ``--resume`` caches completed trials on disk so an interrupted
+paper-scale sweep picks up where it left off::
 
     python -m repro.cli alice-bob --runs 40 --packets 1000 --workers 8 --resume
+    python -m repro.cli run chain_sweep --quick --workers 4 --batch-size 8
 """
 
 from __future__ import annotations
@@ -81,6 +84,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "parallel output is bit-identical to serial)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="trials dispatched to a worker as one block (default 1 = "
+        "trial-by-trial; results are identical at every batch size, "
+        "larger blocks amortize dispatch overhead for short trials)",
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help="cache completed trials to disk and reuse them on the next "
@@ -129,6 +140,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         packets_per_run=args.packets,
         payload_bits=args.payload_bits,
         seed=args.seed,
+        batch_size=args.batch_size,
     )
 
 
@@ -145,6 +157,7 @@ def _scenario_config_from_args(args: argparse.Namespace) -> ExperimentConfig:
             ("runs", args.runs),
             ("packets_per_run", args.packets),
             ("payload_bits", args.payload_bits),
+            ("batch_size", args.batch_size),
         )
         if value is not None
     }
@@ -155,7 +168,9 @@ def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
     cache_dir = args.cache_dir
     if cache_dir is None and args.resume:
         cache_dir = DEFAULT_CACHE_DIR
-    return ExperimentEngine(workers=args.workers, cache_dir=cache_dir)
+    return ExperimentEngine(
+        workers=args.workers, cache_dir=cache_dir, batch_size=args.batch_size
+    )
 
 
 def run_scenario_main(argv: List[str]) -> int:

@@ -101,11 +101,13 @@ def run_alice_bob_experiment(
     """Run the Fig. 9 experiment and return its report.
 
     ``engine`` selects how the per-run trials execute (serial, parallel,
-    resumed from cache); the aggregated report is identical either way.
+    batched into worker blocks via ``config.batch_size``, resumed from
+    cache); the aggregated report is identical in every mode.
     """
     cfg = config if config is not None else ExperimentConfig()
-    trials = default_engine(engine).map(
-        "fig09_alice_bob", run_alice_bob_trial, cfg, range(cfg.runs)
+    trials = default_engine(engine).run_batched(
+        "fig09_alice_bob", run_alice_bob_trial, cfg, range(cfg.runs),
+        batch_size=cfg.engine_batch_size,
     )
     traditional_runs: List[RunResult] = [t[0] for t in trials]
     cope_runs: List[RunResult] = [t[1] for t in trials]

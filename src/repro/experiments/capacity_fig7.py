@@ -58,12 +58,13 @@ def run_capacity_experiment(
     grid = validate_snr_grid(snr_db_values)
 
     cfg = config if config is not None else ExperimentConfig()
-    points = default_engine(engine).map(
+    points = default_engine(engine).run_batched(
         "fig07_capacity",
         run_capacity_point_trial,
         cfg,
         [float(v) for v in grid],
         params={"alpha": float(alpha)},
+        batch_size=cfg.engine_batch_size,
     )
     try:
         crossover = crossover_snr_db(low_db=float(grid[0]), high_db=float(grid[-1]), alpha=alpha)

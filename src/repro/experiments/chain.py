@@ -81,8 +81,9 @@ def run_chain_experiment(
 ) -> ExperimentReport:
     """Run the Fig. 12 experiment and return its report."""
     cfg = config if config is not None else ExperimentConfig()
-    trials = default_engine(engine).map(
-        "fig12_chain", run_chain_trial, cfg, range(cfg.runs)
+    trials = default_engine(engine).run_batched(
+        "fig12_chain", run_chain_trial, cfg, range(cfg.runs),
+        batch_size=cfg.engine_batch_size,
     )
     traditional_runs: List[RunResult] = [t[0] for t in trials]
     anc_runs: List[RunResult] = [t[1] for t in trials]

@@ -51,6 +51,14 @@ class ExperimentConfig:
         less redundancy.
     seed:
         Master seed; every run derives its own substream from it.
+    batch_size:
+        Trials handed to an engine worker as one block
+        (:meth:`~repro.experiments.engine.ExperimentEngine.run_batched`).
+        ``1`` dispatches trial by trial; larger values amortize dispatch
+        overhead for short trials.  Purely an execution knob — results
+        are identical at every batch size, and it is excluded from the
+        engine's cache digest for exactly that reason.  See
+        ``docs/PERFORMANCE.md`` for guidance on setting it.
     """
 
     runs: int = PAPER_NUM_RUNS
@@ -63,11 +71,14 @@ class ExperimentConfig:
     anc_redundancy_overhead: float = DEFAULT_ANC_REDUNDANCY_OVERHEAD
     chain_redundancy_overhead: float = 0.04
     seed: int = 20070823
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         """Validate the configured ranges."""
         if self.runs <= 0:
             raise ConfigurationError("runs must be positive")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
         if self.packets_per_run <= 0:
             raise ConfigurationError("packets_per_run must be positive")
         if self.payload_bits <= 0 or self.payload_bits % 8 != 0:
@@ -120,6 +131,16 @@ class ExperimentConfig:
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    @property
+    def engine_batch_size(self) -> Optional[int]:
+        """The batch size a runner should request from the engine.
+
+        ``None`` while the config keeps the default of 1, so that an
+        engine constructed with its own ``batch_size`` still applies it;
+        the config knob takes precedence only when explicitly set.
+        """
+        return self.batch_size if self.batch_size != 1 else None
 
     # ------------------------------------------------------------------
     # Per-run draws

@@ -202,8 +202,9 @@ def run_scenario(
     cfg = config if config is not None else ExperimentConfig()
     values = spec.values_for(quick)
     keys = [(value, run) for value in values for run in range(cfg.runs)]
-    cells = default_engine(engine).map(
-        f"scenario_{spec.name}", spec.trial_fn, cfg, keys, params=spec.params
+    cells = default_engine(engine).run_batched(
+        f"scenario_{spec.name}", spec.trial_fn, cfg, keys,
+        params=spec.params, batch_size=cfg.engine_batch_size,
     )
 
     rows: Dict[Any, Dict[str, Dict[str, float]]] = {}

@@ -170,12 +170,13 @@ def run_sir_sweep(
         "packets_per_point": int(packets_per_point),
         "snr_db": float(snr_db),
     }
-    return default_engine(engine).map(
+    return default_engine(engine).run_batched(
         "fig13_sir_sweep",
         run_sir_point_trial,
         cfg,
         range(len(params["sir_db_values"])),
         params=params,
+        batch_size=cfg.engine_batch_size,
     )
 
 

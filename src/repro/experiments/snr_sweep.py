@@ -131,12 +131,13 @@ def run_snr_sweep(
         "snr_db_values": tuple(float(v) for v in snr_db_values),
         "runs_per_point": int(runs_per_point),
     }
-    return default_engine(engine).map(
+    return default_engine(engine).run_batched(
         "extension_snr_sweep",
         run_snr_point_trial,
         cfg,
         range(len(params["snr_db_values"])),
         params=params,
+        batch_size=cfg.engine_batch_size,
     )
 
 

@@ -1,0 +1,124 @@
+"""Batched MSK modulation/demodulation over ``(n_trials, n_bits)`` arrays.
+
+The scalar :class:`~repro.modulation.msk.MSKModulator` walks one frame at
+a time; a Monte-Carlo sweep that modulates thousands of frames therefore
+pays one Python/numpy round-trip per frame.  The batched variants here
+process a whole trial block with single vectorized calls: the phase
+trajectory is one ``cumsum`` over the bit axis, oversampling is one
+outer-add phase ramp, and differential demodulation is one conjugate
+product over the batch.
+
+Every kernel is **bit-identical per row** to the scalar reference path —
+row ``i`` of the batched output equals the scalar modulator/demodulator
+applied to row ``i`` of the input, sample for sample.  The differential
+test suite ``tests/properties/test_batch_equivalence.py`` enforces this
+with hypothesis-generated inputs; see ``docs/PERFORMANCE.md`` for why the
+guarantee holds (identical elementwise IEEE operations, ``cumsum`` along
+the trial rows, and the same multiply-then-add ramp ``np.linspace`` uses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_TX_AMPLITUDE, MSK_PHASE_STEP
+from repro.modulation.msk import interpolate_phase_ramp
+from repro.signal.batch import BatchLike, SignalBatch, ensure_batch_array
+from repro.utils.validation import ensure_bit_matrix, ensure_positive, ensure_positive_int
+
+
+def batch_msk_phase_trajectory(bits: np.ndarray, initial_phase: float = 0.0) -> np.ndarray:
+    """Cumulative MSK phase trajectories for a whole bit matrix.
+
+    Row ``i`` equals :func:`repro.modulation.msk.msk_phase_trajectory` of
+    ``bits[i]``: entry 0 is the initial phase and entry ``k`` the phase
+    after the first ``k`` bits.  Output shape is
+    ``(n_trials, n_bits + 1)``.
+    """
+    clean = ensure_bit_matrix(bits, "bits")
+    steps = np.where(clean == 1, MSK_PHASE_STEP, -MSK_PHASE_STEP)
+    lead = np.zeros((clean.shape[0], 1), dtype=float)
+    return initial_phase + np.concatenate([lead, np.cumsum(steps, axis=1)], axis=1)
+
+
+def batch_expected_phase_differences(bits: np.ndarray) -> np.ndarray:
+    """Per-row ±pi/2 phase-difference sequences of a bit matrix.
+
+    Row-wise counterpart of
+    :func:`repro.modulation.msk.expected_phase_differences` — the known
+    ``delta theta_s`` sequences the batched ANC matcher consumes.
+    """
+    clean = ensure_bit_matrix(bits, "bits")
+    return np.where(clean == 1, MSK_PHASE_STEP, -MSK_PHASE_STEP).astype(float)
+
+
+class BatchMSKModulator:
+    """Modulate ``(n_trials, n_bits)`` bit matrices in one vectorized pass.
+
+    Construction parameters mirror
+    :class:`~repro.modulation.msk.MSKModulator`; ``modulate`` returns a
+    :class:`~repro.signal.batch.SignalBatch` whose row ``i`` is
+    bit-identical to the scalar modulator applied to ``bits[i]``.
+    """
+
+    def __init__(
+        self,
+        amplitude: float = DEFAULT_TX_AMPLITUDE,
+        samples_per_symbol: int = 1,
+        initial_phase: float = 0.0,
+    ) -> None:
+        self.amplitude = ensure_positive(amplitude, "amplitude")
+        self._samples_per_symbol = ensure_positive_int(samples_per_symbol, "samples_per_symbol")
+        self.initial_phase = float(initial_phase)
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Oversampling factor shared by every row."""
+        return self._samples_per_symbol
+
+    def modulate(self, bits: np.ndarray) -> SignalBatch:
+        """Produce one MSK waveform per bit row.
+
+        Output shape is ``(n_trials, n_bits * samples_per_symbol + 1)`` —
+        each row carries the leading reference sample followed by the
+        phase-ramped data samples, exactly like the scalar modulator.
+        """
+        clean = ensure_bit_matrix(bits, "bits")
+        boundary_phases = batch_msk_phase_trajectory(clean, self.initial_phase)
+        if self._samples_per_symbol == 1:
+            phases = boundary_phases
+        else:
+            phases = interpolate_phase_ramp(boundary_phases, self._samples_per_symbol)
+        return SignalBatch(self.amplitude * np.exp(1j * phases))
+
+
+class BatchMSKDemodulator:
+    """Differential MSK demodulation (Eq. 1) over a whole signal batch."""
+
+    def __init__(self, samples_per_symbol: int = 1) -> None:
+        self._samples_per_symbol = ensure_positive_int(samples_per_symbol, "samples_per_symbol")
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Oversampling factor shared by every row."""
+        return self._samples_per_symbol
+
+    def phase_differences(self, batch: BatchLike) -> np.ndarray:
+        """Per-symbol wrapped phase differences of every row.
+
+        Output shape ``(n_trials, n_symbols - 1)``; rows match the scalar
+        demodulator's :meth:`~repro.modulation.msk.MSKDemodulator.phase_differences`.
+        """
+        samples = ensure_batch_array(batch, "batch")[:, :: self._samples_per_symbol]
+        if samples.shape[1] < 2:
+            return np.zeros((samples.shape[0], 0), dtype=float)
+        ratio = samples[:, 1:] * np.conj(samples[:, :-1])
+        return np.angle(ratio)
+
+    def demodulate(self, batch: BatchLike) -> np.ndarray:
+        """Decode one bit row per waveform; shape ``(n_trials, n_bits)``."""
+        return (self.phase_differences(batch) >= 0).astype(np.uint8)
+
+    def soft_decisions(self, batch: BatchLike) -> np.ndarray:
+        """Raw phase differences of every row, as soft decision metrics."""
+        return self.phase_differences(batch)

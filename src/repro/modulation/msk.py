@@ -25,6 +25,31 @@ from repro.utils.angles import phase_difference
 from repro.utils.validation import ensure_bit_array, ensure_positive, ensure_positive_int
 
 
+def interpolate_phase_ramp(boundary_phases: np.ndarray, samples_per_symbol: int) -> np.ndarray:
+    """Expand symbol-boundary phases into per-sample phases, vectorized.
+
+    Works along the last axis, so it serves both the scalar modulator
+    (``boundary_phases`` of shape ``(n_bits + 1,)``) and the batched one
+    (``(n_trials, n_bits + 1)``).  The output holds the leading reference
+    phase followed by ``samples_per_symbol`` linearly interpolated samples
+    per symbol and is bit-identical to ``np.linspace`` over each symbol:
+    interior samples are computed as ``j * step + start`` (the same
+    multiply-then-add ``np.linspace`` uses) and each symbol's final sample
+    is pinned to the exact boundary phase, mirroring ``linspace``'s
+    endpoint handling.
+    """
+    sps = int(samples_per_symbol)
+    start = boundary_phases[..., :-1]
+    stop = boundary_phases[..., 1:]
+    step = (stop - start) / sps
+    fractions = np.arange(1, sps + 1, dtype=float)
+    ramp = fractions * step[..., None]
+    ramp += start[..., None]
+    ramp[..., -1] = stop
+    flat = ramp.reshape(*boundary_phases.shape[:-1], -1)
+    return np.concatenate([boundary_phases[..., :1], flat], axis=-1)
+
+
 def msk_phase_trajectory(bits: np.ndarray, initial_phase: float = 0.0) -> np.ndarray:
     """Cumulative MSK phase trajectory, one entry per sample boundary.
 
@@ -88,13 +113,7 @@ class MSKModulator(Modulator):
             phases = boundary_phases
         else:
             # Linearly interpolate the phase ramp inside each symbol.
-            phases = [boundary_phases[0]]
-            for k in range(clean.size):
-                start = boundary_phases[k]
-                stop = boundary_phases[k + 1]
-                ramp = np.linspace(start, stop, self._samples_per_symbol + 1)[1:]
-                phases.extend(ramp)
-            phases = np.asarray(phases)
+            phases = interpolate_phase_ramp(boundary_phases, self._samples_per_symbol)
         return ComplexSignal(self.amplitude * np.exp(1j * phases))
 
 

@@ -1,0 +1,188 @@
+"""Batched complex-baseband signals: the 2D ``(n_trials, n_samples)`` layout.
+
+The scalar substrate (:class:`~repro.signal.samples.ComplexSignal`) models
+one waveform at a time, which is the natural unit for the protocol
+simulators but forces the Monte-Carlo sweeps to cross the Python/numpy
+boundary once per trial.  A :class:`SignalBatch` stacks many equal-length
+waveforms into one two-dimensional complex array so that the whole trial
+axis is processed by single vectorized numpy calls — the batched MSK
+modulator (:mod:`repro.modulation.batch`) and the batched interference
+decoder (:mod:`repro.anc.batch`) both operate on this layout.
+
+Row ``i`` of a batch is sample-for-sample one scalar waveform; every
+batched kernel in this library is differentially tested to be
+*bit-identical* to mapping the scalar reference implementation over the
+rows (see ``tests/properties/test_batch_equivalence.py`` and
+``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.signal.samples import ComplexSignal
+
+#: Inputs accepted wherever a batch is expected: an existing batch or any
+#: 2D array-like of complex samples.
+BatchLike = Union["SignalBatch", np.ndarray, Sequence[Sequence[complex]]]
+
+
+def ensure_batch_array(samples: BatchLike, name: str = "samples") -> np.ndarray:
+    """Coerce ``samples`` to a read-only 2D complex128 array.
+
+    Accepts a :class:`SignalBatch` (returned as-is, already validated) or
+    anything :func:`numpy.asarray` turns into a 2D complex array.
+    """
+    if isinstance(samples, SignalBatch):
+        return samples.samples
+    arr = np.asarray(samples, dtype=np.complex128)
+    if arr.ndim != 2:
+        raise ConfigurationError(
+            f"{name} must be a 2D (n_trials, n_samples) array, got ndim={arr.ndim}"
+        )
+    # C-contiguity is part of the bit-exactness contract: numpy's strided
+    # ufunc paths may round differently (last ULP) from the contiguous
+    # SIMD paths the scalar reference code always sees.
+    return np.ascontiguousarray(arr)
+
+
+@dataclass(frozen=True)
+class SignalBatch:
+    """An immutable stack of equal-length complex baseband waveforms.
+
+    Parameters
+    ----------
+    samples:
+        Two-dimensional ``(n_trials, n_samples)`` array (or nested
+        iterable) of complex values.  The array is copied and frozen, so a
+        batch can be shared freely without aliasing surprises — the same
+        contract :class:`~repro.signal.samples.ComplexSignal` gives for
+        one waveform.
+    """
+
+    samples: np.ndarray
+
+    def __init__(self, samples: BatchLike) -> None:
+        if isinstance(samples, SignalBatch):
+            arr = samples.samples.copy()
+        else:
+            # One copy, C-contiguous: np.array with the default copy
+            # semantics both detaches from the caller's memory and
+            # satisfies the contiguity contract of ensure_batch_array.
+            arr = np.array(samples, dtype=np.complex128, order="C")
+            if arr.ndim != 2:
+                raise ConfigurationError(
+                    f"samples must be a 2D (n_trials, n_samples) array, got ndim={arr.ndim}"
+                )
+        arr.setflags(write=False)
+        object.__setattr__(self, "samples", arr)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_signals(cls, signals: Iterable[ComplexSignal]) -> "SignalBatch":
+        """Stack scalar signals of identical length into one batch.
+
+        All signals must have the same number of samples; padding unequal
+        waveforms is the caller's decision (use
+        :meth:`ComplexSignal.padded` first), because zero-padding is not
+        transparent to energy statistics.
+        """
+        rows = [signal.samples for signal in signals]
+        if not rows:
+            raise ConfigurationError("cannot build a SignalBatch from zero signals")
+        length = rows[0].size
+        if any(row.size != length for row in rows):
+            raise ConfigurationError(
+                "all signals in a batch must have the same length; "
+                "pad them explicitly first"
+            )
+        return cls(np.stack(rows))
+
+    @classmethod
+    def silence(cls, n_trials: int, n_samples: int) -> "SignalBatch":
+        """A batch of ``n_trials`` all-zero waveforms (idle channels)."""
+        if n_trials <= 0 or n_samples < 0:
+            raise ConfigurationError(
+                "silence batch needs n_trials >= 1 and n_samples >= 0"
+            )
+        return cls(np.zeros((n_trials, n_samples), dtype=np.complex128))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_trials(self) -> int:
+        """Number of stacked waveforms (rows)."""
+        return int(self.samples.shape[0])
+
+    @property
+    def n_samples(self) -> int:
+        """Samples per waveform (columns)."""
+        return int(self.samples.shape[1])
+
+    def __len__(self) -> int:
+        return self.n_trials
+
+    def __iter__(self) -> Iterator[ComplexSignal]:
+        for index in range(self.n_trials):
+            yield self.row(index)
+
+    def row(self, index: int) -> ComplexSignal:
+        """Row ``index`` as a scalar :class:`ComplexSignal`."""
+        return ComplexSignal(self.samples[index])
+
+    @property
+    def amplitude(self) -> np.ndarray:
+        """Per-sample magnitudes, shape ``(n_trials, n_samples)``."""
+        return np.abs(self.samples)
+
+    @property
+    def phase(self) -> np.ndarray:
+        """Per-sample phases in ``(-pi, pi]``, shape ``(n_trials, n_samples)``."""
+        return np.angle(self.samples)
+
+    @property
+    def average_power(self) -> np.ndarray:
+        """Mean per-sample energy of each row, shape ``(n_trials,)``."""
+        if self.n_samples == 0:
+            return np.zeros(self.n_trials, dtype=float)
+        return np.mean(np.abs(self.samples) ** 2, axis=1)
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> "SignalBatch":
+        """Column slice ``samples[:, start:stop]`` of every waveform."""
+        return SignalBatch(self.samples[:, start:stop])
+
+    def scaled(self, factors: Union[complex, np.ndarray]) -> "SignalBatch":
+        """Scale every waveform, by one factor or one factor per row."""
+        factor_arr = np.asarray(factors)
+        if factor_arr.ndim == 1:
+            factor_arr = factor_arr[:, None]
+        elif factor_arr.ndim not in (0, 2):
+            raise ConfigurationError("factors must be scalar, per-row, or 2D")
+        return SignalBatch(self.samples * factor_arr)
+
+    def reversed(self) -> "SignalBatch":
+        """Time-reverse every waveform (Bob's backward decoding, §7.4)."""
+        return SignalBatch(self.samples[:, ::-1])
+
+    def __add__(self, other: "SignalBatch") -> "SignalBatch":
+        """Superpose two batches of identical shape."""
+        if not isinstance(other, SignalBatch):
+            return NotImplemented
+        if self.samples.shape != other.samples.shape:
+            raise ConfigurationError(
+                "batches must have identical shape to superpose"
+            )
+        return SignalBatch(self.samples + other.samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SignalBatch(n_trials={self.n_trials}, n_samples={self.n_samples})"

@@ -63,6 +63,59 @@ class TestModulator:
         assert mod.samples_for_bits(10) == 11
 
 
+class TestVectorizedOversampling:
+    """The vectorized sps>1 ramp must match the per-symbol linspace loop.
+
+    ``MSKModulator.modulate`` used to build the oversampled phase ramp by
+    appending one ``np.linspace`` slice per symbol to a Python list; the
+    vectorized outer-add ramp replaced it.  These tests pin the waveform
+    to the loop reference to the last ULP, so the fast path can never
+    drift the PHY.
+    """
+
+    @staticmethod
+    def _loop_reference(bits, amplitude, sps, initial_phase):
+        """The original list-append/np.linspace implementation."""
+        clean = np.asarray(bits, dtype=np.uint8)
+        boundary = msk_phase_trajectory(clean, initial_phase)
+        phases = [boundary[0]]
+        for k in range(clean.size):
+            ramp = np.linspace(boundary[k], boundary[k + 1], sps + 1)[1:]
+            phases.extend(ramp)
+        return amplitude * np.exp(1j * np.asarray(phases))
+
+    @pytest.mark.parametrize("sps", [2, 3, 4, 8])
+    @pytest.mark.parametrize("initial_phase", [0.0, 0.7, -2.1])
+    def test_waveform_unchanged_to_last_ulp(self, sps, initial_phase):
+        bits = random_bits(257, np.random.default_rng(5))
+        modulator = MSKModulator(
+            amplitude=1.3, samples_per_symbol=sps, initial_phase=initial_phase
+        )
+        reference = self._loop_reference(bits, 1.3, sps, initial_phase)
+        produced = modulator.modulate(bits).samples
+        # Exact array equality: not approx, not allclose — the refactor
+        # must be invisible at the bit level.
+        assert np.array_equal(produced, reference)
+
+    @pytest.mark.parametrize("n_bits", [0, 1, 2])
+    def test_degenerate_frame_sizes(self, n_bits):
+        bits = np.ones(n_bits, dtype=np.uint8)
+        produced = MSKModulator(samples_per_symbol=3).modulate(bits).samples
+        reference = self._loop_reference(bits, MSKModulator().amplitude, 3, 0.0)
+        assert np.array_equal(produced, reference)
+
+    def test_oversampled_ramp_hits_boundaries_exactly(self):
+        bits = string_to_bits("1101")
+        sps = 5
+        signal = MSKModulator(amplitude=1.0, samples_per_symbol=sps).modulate(bits)
+        boundary = msk_phase_trajectory(bits)
+        # Sample k*sps carries exactly the k-th boundary phase (linspace
+        # pins its endpoint, and the vectorized ramp must too).
+        sampled = np.angle(signal.samples[::sps])
+        expected = np.angle(np.exp(1j * boundary))
+        assert np.array_equal(sampled, expected)
+
+
 class TestDemodulator:
     def test_roundtrip_no_channel(self):
         bits = random_bits(256, np.random.default_rng(1))

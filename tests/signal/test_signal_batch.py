@@ -1,0 +1,106 @@
+"""Tests for the :class:`SignalBatch` container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.signal.batch import SignalBatch, ensure_batch_array
+from repro.signal.samples import ComplexSignal
+
+
+def _signals(n, length, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        ComplexSignal(rng.standard_normal(length) + 1j * rng.standard_normal(length))
+        for _ in range(n)
+    ]
+
+
+class TestConstruction:
+    def test_from_signals_stacks_rows(self):
+        signals = _signals(3, 16)
+        batch = SignalBatch.from_signals(signals)
+        assert batch.n_trials == 3
+        assert batch.n_samples == 16
+        for i, signal in enumerate(signals):
+            assert np.array_equal(batch.samples[i], signal.samples)
+
+    def test_from_signals_rejects_unequal_lengths(self):
+        with pytest.raises(ConfigurationError):
+            SignalBatch.from_signals(
+                [ComplexSignal(np.zeros(4)), ComplexSignal(np.zeros(5))]
+            )
+
+    def test_from_signals_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            SignalBatch.from_signals([])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            SignalBatch(np.zeros(4, dtype=np.complex128))
+
+    def test_silence(self):
+        batch = SignalBatch.silence(2, 8)
+        assert np.all(batch.samples == 0)
+        with pytest.raises(ConfigurationError):
+            SignalBatch.silence(0, 8)
+
+    def test_samples_are_frozen(self):
+        batch = SignalBatch.silence(1, 4)
+        with pytest.raises(ValueError):
+            batch.samples[0, 0] = 1.0
+
+    def test_ensure_batch_array_is_contiguous(self):
+        strided = np.zeros((3, 16), dtype=np.complex128)[:, ::-1]
+        out = ensure_batch_array(strided)
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestAccessors:
+    def test_rows_roundtrip(self):
+        signals = _signals(4, 9, seed=1)
+        batch = SignalBatch.from_signals(signals)
+        assert len(batch) == 4
+        for original, row in zip(signals, batch):
+            assert np.array_equal(row.samples, original.samples)
+        assert np.array_equal(batch.row(2).samples, signals[2].samples)
+
+    def test_amplitude_phase_power_match_scalar(self):
+        signals = _signals(3, 32, seed=2)
+        batch = SignalBatch.from_signals(signals)
+        for i, signal in enumerate(signals):
+            assert np.array_equal(batch.amplitude[i], signal.amplitude)
+            assert np.array_equal(batch.phase[i], signal.phase)
+            assert batch.average_power[i] == signal.average_power
+
+    def test_empty_batch_power(self):
+        assert np.array_equal(SignalBatch.silence(2, 0).average_power, np.zeros(2))
+
+
+class TestStructuralOps:
+    def test_slice(self):
+        batch = SignalBatch.from_signals(_signals(2, 10, seed=3))
+        sliced = batch.slice(2, 7)
+        assert sliced.n_samples == 5
+        assert np.array_equal(sliced.samples, batch.samples[:, 2:7])
+
+    def test_scaled_scalar_and_per_row(self):
+        batch = SignalBatch.from_signals(_signals(2, 6, seed=4))
+        assert np.array_equal(batch.scaled(2.0).samples, batch.samples * 2.0)
+        factors = np.array([1.0, 3.0])
+        per_row = batch.scaled(factors)
+        assert np.array_equal(per_row.samples, batch.samples * factors[:, None])
+        with pytest.raises(ConfigurationError):
+            batch.scaled(np.zeros((1, 2, 3)))
+
+    def test_reversed(self):
+        batch = SignalBatch.from_signals(_signals(2, 6, seed=5))
+        assert np.array_equal(batch.reversed().samples, batch.samples[:, ::-1])
+
+    def test_add_requires_same_shape(self):
+        a = SignalBatch.silence(2, 4)
+        b = SignalBatch.from_signals(_signals(2, 4, seed=6))
+        assert np.array_equal((a + b).samples, b.samples)
+        with pytest.raises(ConfigurationError):
+            a + SignalBatch.silence(2, 5)
+        assert a.__add__(object()) is NotImplemented

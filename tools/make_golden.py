@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Regenerate the golden regression fixtures under ``tests/golden/``.
+
+Each fixture freezes the full plain-text rendering of one quick-scale
+figure reproduction (fig09 Alice-Bob, fig10 X topology, fig12 chain) at a
+pinned configuration.  ``tests/integration/test_golden.py`` replays the
+same experiments — through the scalar engine and through the batched
+engine — and requires byte-identical renderings, so any refactor that
+silently drifts the reproduced numbers fails CI.
+
+Run from the repository root after an *intentional* change to the
+reproduced numbers::
+
+    PYTHONPATH=src python tools/make_golden.py
+
+and commit the updated JSON files together with the change that justifies
+them.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.alice_bob import run_alice_bob_experiment  # noqa: E402
+from repro.experiments.chain import run_chain_experiment  # noqa: E402
+from repro.experiments.config import ExperimentConfig  # noqa: E402
+from repro.experiments.x_topology import run_x_topology_experiment  # noqa: E402
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+#: The pinned quick-scale configuration every fixture is generated at.
+GOLDEN_CONFIG_FIELDS = {"runs": 3, "packets_per_run": 4, "payload_bits": 512, "seed": 7}
+
+#: The three figure experiments frozen as fixtures.
+GOLDEN_EXPERIMENTS = {
+    "fig09_alice_bob": run_alice_bob_experiment,
+    "fig10_x_topology": run_x_topology_experiment,
+    "fig12_chain": run_chain_experiment,
+}
+
+
+def golden_config() -> ExperimentConfig:
+    """The configuration the fixtures are pinned to."""
+    return ExperimentConfig(**GOLDEN_CONFIG_FIELDS)
+
+
+def main() -> int:
+    """Write one JSON fixture per golden experiment."""
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    config = golden_config()
+    for name, runner in GOLDEN_EXPERIMENTS.items():
+        report = runner(config)
+        payload = {
+            "experiment": name,
+            "config": GOLDEN_CONFIG_FIELDS,
+            "render": report.render(),
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,17 @@ The package is organised bottom-up:
 * analysis and evaluation: :mod:`repro.capacity`, :mod:`repro.metrics`,
   :mod:`repro.experiments`.
 
-Quickstart::
+Quickstart (structured results through the facade)::
+
+    from repro import api
+    from repro.experiments import ExperimentConfig
+    from repro.results import render_text
+
+    result = api.run("alice-bob", config=ExperimentConfig.quick())
+    print(render_text(result))       # the classic text report
+    print(result.to_json())          # machine-readable export
+
+The rich per-experiment entry points remain available::
 
     from repro.experiments import ExperimentConfig, run_alice_bob_experiment
 
@@ -25,4 +35,16 @@ from repro import constants, exceptions
 
 __version__ = "1.0.0"
 
-__all__ = ["constants", "exceptions", "__version__"]
+__all__ = ["api", "constants", "exceptions", "results", "__version__"]
+
+#: Submodules resolved lazily so ``import repro`` stays lightweight.
+_LAZY_SUBMODULES = ("api", "results")
+
+
+def __getattr__(name):
+    """Lazily import the heavyweight facade submodules on first access."""
+    if name in _LAZY_SUBMODULES:
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

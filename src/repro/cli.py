@@ -1,18 +1,23 @@
 """Command-line interface for the ANC reproduction experiments.
 
 ``python -m repro.cli <experiment>`` (or the ``anc-repro`` console script)
-runs any of the figure-reproduction experiments from a shell and prints the
-same plain-text report the benchmark harness writes, without needing to
-write any Python.  Intended for quickly regenerating a single figure at a
-custom size::
+runs any experiment in the unified :mod:`repro.api` namespace — the seven
+figure reproductions *and* the registered scenario sweeps — and emits the
+result in the requested format::
 
     python -m repro.cli alice-bob --runs 10 --packets 20
-    python -m repro.cli capacity
-    python -m repro.cli sir --seed 3
-    python -m repro.cli summary --runs 5 --packets 6
+    python -m repro.cli capacity --format json --output capacity.json
+    python -m repro.cli sir --seed 3 --format csv
+    python -m repro.cli chain_sweep --quick --workers 2
+    python -m repro.cli --version
 
-Scenario sweeps from the registry in
-:mod:`repro.experiments.scenarios` run through the ``run`` subcommand
+``--format text`` (the default) prints the familiar plain-text report —
+byte-identical to the pre-structured-results CLI — while ``json`` and
+``csv`` emit the schema-versioned machine-readable serializations of the
+underlying :class:`~repro.results.model.ExperimentResult` (see
+``docs/API.md``).  ``--output PATH`` writes to a file instead of stdout.
+
+The legacy ``run`` subcommand for scenario sweeps is kept as an alias
 (``--quick`` shrinks them to smoke-test size)::
 
     python -m repro.cli run chain_sweep --quick --workers 2
@@ -34,34 +39,50 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from repro import __version__, api
 from repro.exceptions import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine
-from repro.experiments.runner import RUNNERS
-from repro.experiments.scenarios import SCENARIOS, run_scenario
+from repro.results.model import ExperimentResult
+from repro.results.render import render_text
 
-#: Experiment names accepted on the command line, with the figure they map to.
-EXPERIMENTS = {name: spec.description for name, spec in RUNNERS.items()}
+#: Experiment names accepted on the command line, with the figure they map
+#: to.  Derived from the unified registry (single source of truth).
+EXPERIMENTS = {e.name: e.description for e in api.experiment_entries(kind="figure")}
 
-#: Scenario names accepted by the ``run`` subcommand.
-SCENARIO_NAMES = {name: spec.description for name, spec in SCENARIOS.items()}
+#: Scenario names accepted by the ``run`` subcommand (same registry).
+SCENARIO_NAMES = {e.name: e.description for e in api.experiment_entries(kind="scenario")}
+
+#: Output formats the CLI can emit.
+FORMATS = ("text", "json", "csv")
+
+
+def _epilog(entries) -> str:
+    """The one help epilog both parsers derive from the unified registry."""
+    return "experiments: " + "; ".join(
+        f"{entry.name}: {entry.description}" for entry in entries
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the CLI argument parser."""
+    """Construct the CLI argument parser (figures and scenarios alike)."""
     parser = argparse.ArgumentParser(
         prog="anc-repro",
         description="Regenerate the evaluation figures of 'Embracing Wireless "
-        "Interference: Analog Network Coding' (SIGCOMM 2007).  Scenario "
-        "sweeps run through the 'run' subcommand: anc-repro run "
-        f"{{{','.join(sorted(SCENARIO_NAMES))}}} [--quick] "
-        "(see 'anc-repro run --help' and docs/SCENARIOS.md).",
-        epilog="experiments: "
-        + "; ".join(f"{name}: {desc}" for name, desc in EXPERIMENTS.items()),
+        "Interference: Analog Network Coding' (SIGCOMM 2007) or run a "
+        "registered scenario sweep (see docs/SCENARIOS.md).  Emits the "
+        "plain-text report by default; --format json/csv emits the "
+        "schema-versioned structured result (docs/API.md).",
+        epilog=_epilog(api.experiment_entries()),
     )
-    parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="which figure to regenerate")
+    parser.add_argument(
+        "experiment",
+        choices=sorted(api.list_experiments()),
+        help="which experiment (figure or scenario sweep) to run",
+    )
     parser.add_argument("--runs", type=int, default=10, help="independent testbed runs (default 10)")
     parser.add_argument(
         "--packets", type=int, default=10, help="packets per direction per run (default 10)"
@@ -69,7 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--payload-bits", type=int, default=768, help="payload size in bits (default 768)"
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scenario sweeps only: thin the sweep axis to smoke-test size",
+    )
     _add_engine_arguments(parser)
+    _add_output_arguments(parser)
     return parser
 
 
@@ -105,13 +132,36 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the result-format/output/version flags shared by both parsers."""
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        dest="format",
+        help="output format: 'text' (default, the classic report), or the "
+        "schema-versioned 'json' / 'csv' structured result",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="write the result to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the package version and exit",
+    )
+
+
 def build_scenario_parser() -> argparse.ArgumentParser:
     """Construct the parser of the ``run`` (scenario) subcommand."""
     parser = argparse.ArgumentParser(
         prog="anc-repro run",
         description="Run a registered scenario sweep (see docs/SCENARIOS.md).",
-        epilog="scenarios: "
-        + "; ".join(f"{name}: {desc}" for name, desc in SCENARIO_NAMES.items()),
+        epilog=_epilog(api.experiment_entries(kind="scenario")),
     )
     parser.add_argument(
         "scenario", choices=sorted(SCENARIO_NAMES), help="which scenario sweep to run"
@@ -131,6 +181,7 @@ def build_scenario_parser() -> argparse.ArgumentParser:
         "--payload-bits", type=int, default=None, help="payload size in bits"
     )
     _add_engine_arguments(parser)
+    _add_output_arguments(parser)
     return parser
 
 
@@ -141,6 +192,36 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         payload_bits=args.payload_bits,
         seed=args.seed,
         batch_size=args.batch_size,
+    )
+
+
+def _unified_config_from_args(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> ExperimentConfig:
+    """Config for the main parser, honouring each experiment kind's semantics.
+
+    Figures use the parser defaults directly.  Scenario names reuse the
+    ``run`` subcommand's semantics so ``anc-repro chain_sweep --quick``
+    behaves exactly like ``anc-repro run chain_sweep --quick``: under
+    ``--quick`` the smoke-test config is the base and only flags that
+    differ from the parser defaults override it.
+    """
+    if api.get_experiment(args.experiment).kind == "figure":
+        return _config_from_args(args)
+
+    def explicit(name: str):
+        value = getattr(args, name)
+        return None if value == parser.get_default(name) else value
+
+    return _scenario_config_from_args(
+        argparse.Namespace(
+            quick=args.quick,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            runs=explicit("runs"),
+            packets=explicit("packets"),
+            payload_bits=explicit("payload_bits"),
+        )
     )
 
 
@@ -173,19 +254,38 @@ def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
     )
 
 
+def format_result(result: ExperimentResult, fmt: str) -> str:
+    """Serialize a result in one of the CLI's output formats."""
+    if fmt == "text":
+        return render_text(result)
+    if fmt == "json":
+        return result.to_json()
+    if fmt == "csv":
+        return result.to_csv()
+    raise ConfigurationError(f"unknown output format {fmt!r}; choose from {FORMATS}")
+
+
+def _emit(result: ExperimentResult, args: argparse.Namespace) -> None:
+    """Write the formatted result to stdout or to ``--output``."""
+    text = format_result(result, args.format)
+    payload = text if text.endswith("\n") else text + "\n"
+    if args.output is not None:
+        Path(args.output).write_text(payload)
+    else:
+        sys.stdout.write(payload)
+
+
 def run_scenario_main(argv: List[str]) -> int:
     """Entry point of the ``run`` subcommand; returns a process exit code."""
     args = build_scenario_parser().parse_args(argv)
     try:
         config = _scenario_config_from_args(args)
         engine = _engine_from_args(args)
-        report = run_scenario(
-            SCENARIOS[args.scenario], config, engine=engine, quick=args.quick
-        )
-    except ConfigurationError as error:
+        result = api.run(args.scenario, config=config, engine=engine, quick=args.quick)
+        _emit(result, args)
+    except (ConfigurationError, OSError) as error:
         print(f"anc-repro: error: {error}", file=sys.stderr)
         return 2
-    print(report.render())
     return 0
 
 
@@ -194,14 +294,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = list(argv) if argv is not None else sys.argv[1:]
     if arguments and arguments[0] == "run":
         return run_scenario_main(arguments[1:])
-    args = build_parser().parse_args(arguments)
+    parser = build_parser()
+    args = parser.parse_args(arguments)
     try:
-        config = _config_from_args(args)
+        config = _unified_config_from_args(args, parser)
         engine = _engine_from_args(args)
-    except ConfigurationError as error:
+        result = api.run(args.experiment, config=config, engine=engine, quick=args.quick)
+        _emit(result, args)
+    except (ConfigurationError, OSError) as error:
         print(f"anc-repro: error: {error}", file=sys.stderr)
         return 2
-    print(RUNNERS[args.experiment].run(config, engine))
     return 0
 
 

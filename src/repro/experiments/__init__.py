@@ -21,6 +21,13 @@ chain length) and :mod:`repro.experiments.mesh_sweep` (multi-flow random
 meshes) are the shipped examples, dispatched from the CLI as
 ``python -m repro.cli run <scenario>``.
 
+Both registries are merged into the single public facade
+:mod:`repro.api`, whose ``run(name, ...)`` returns a typed
+:class:`~repro.results.model.ExperimentResult` (tables + scalars +
+config snapshot + engine metadata, lossless JSON/CSV export); plain text
+is a view over it (:func:`repro.results.render.render_text`).  See
+``docs/API.md``.
+
 All runners are deterministic given an :class:`ExperimentConfig` seed and
 scale from quick CI-sized runs to paper-scale runs by changing the config.
 Their Monte-Carlo trials execute through the

@@ -39,6 +39,7 @@ import os
 import pickle
 import re
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, is_dataclass
 from pathlib import Path
@@ -113,6 +114,8 @@ class EngineStats:
     workers: int
     digest: str
     batch_size: int = 1
+    #: Wall-clock seconds the invocation took (cache loading included).
+    elapsed_seconds: float = 0.0
 
 
 class ExperimentEngine:
@@ -154,6 +157,11 @@ class ExperimentEngine:
         self.batch_size = int(batch_size)
         #: Stats of the most recent :meth:`map` call (``None`` before any).
         self.last_stats: Optional[EngineStats] = None
+        #: Stats of every :meth:`map` call this engine executed, in order.
+        #: The structured-results pipeline slices this log to attach the
+        #: cache/timing metadata of exactly one experiment to its result
+        #: (see :func:`repro.results.adapters.attach_engine_meta`).
+        self.stats_log: List[EngineStats] = []
 
     # ------------------------------------------------------------------
     # Cache keying
@@ -278,6 +286,7 @@ class ExperimentEngine:
             interrupted mid-block resumes at per-trial granularity and a
             cache written at one batch size is reused at any other.
         """
+        started = time.perf_counter()
         keys = list(trial_keys)
         if len(set(map(_key_slug, keys))) != len(keys):
             raise ConfigurationError("trial keys must be unique")
@@ -331,7 +340,9 @@ class ExperimentEngine:
             workers=self.workers,
             digest=digest,
             batch_size=effective_batch,
+            elapsed_seconds=time.perf_counter() - started,
         )
+        self.stats_log.append(self.last_stats)
         return [results[_key_slug(key)] for key in keys]
 
     def run_batched(

@@ -1,11 +1,18 @@
 """Uniform dispatch of the figure-reproduction experiments.
 
 Maps each experiment's CLI name to a :class:`RunnerSpec` — a description
-plus a ``run(config, engine)`` callable that executes the experiment
-through the :class:`~repro.experiments.engine.ExperimentEngine` and
-returns its plain-text rendering.  The CLI and tests share this registry,
-so adding an experiment means registering one spec rather than editing an
+plus a ``run_result(config, engine)`` callable that executes the
+experiment through the :class:`~repro.experiments.engine.ExperimentEngine`
+and returns a typed :class:`~repro.results.model.ExperimentResult`.  The
+:mod:`repro.api` facade, the CLI and the tests all share this registry, so
+adding an experiment means registering one spec rather than editing an
 ``if``-chain.
+
+Plain text is a *view* over the structured result:
+``spec.run(config, engine)`` still returns the rendered report (via
+:func:`repro.results.render.render_text`, byte-identical to the
+pre-results-API output) and is kept as a compatibility shim for callers
+that predate the structured pipeline.
 """
 
 from __future__ import annotations
@@ -19,18 +26,41 @@ from repro.experiments.capacity_fig7 import render_capacity_table, run_capacity_
 from repro.experiments.chain import run_chain_experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import ExperimentEngine
-from repro.experiments.sir_sweep import render_sir_table, run_sir_sweep
-from repro.experiments.snr_sweep import render_snr_table, run_snr_sweep
+from repro.experiments.sir_sweep import run_sir_sweep
+from repro.experiments.snr_sweep import run_snr_sweep
 from repro.experiments.summary import run_summary
 from repro.experiments.x_topology import run_x_topology_experiment
+from repro.results.adapters import (
+    capacity_result,
+    experiment_report_result,
+    sir_result,
+    snr_result,
+    summary_result,
+)
+from repro.results.model import ExperimentResult
+from repro.results.render import render_text
 
-#: Signature of one registered experiment: config + engine -> rendered text.
+__all__ = [
+    "RUNNERS",
+    "ResultRunnerFn",
+    "RunnerFn",
+    "RunnerSpec",
+    "available_runners",
+    "get_runner",
+    "render_capacity_table",  # re-export kept for callers of the old module layout
+]
+
+#: Signature of one registered experiment: config + engine -> typed result.
+ResultRunnerFn = Callable[[ExperimentConfig, Optional[ExperimentEngine]], ExperimentResult]
+
+#: Legacy signature (config + engine -> rendered text); today this is the
+#: type of :meth:`RunnerSpec.run`, the deprecated text-view shim.
 RunnerFn = Callable[[ExperimentConfig, Optional[ExperimentEngine]], str]
 
 
 @dataclass(frozen=True)
 class RunnerSpec:
-    """One experiment the CLI (and tests) can execute by name.
+    """One experiment the facade, CLI and tests can execute by name.
 
     Attributes
     ----------
@@ -38,45 +68,87 @@ class RunnerSpec:
         The CLI name (e.g. ``"alice-bob"``).
     description:
         One-line description shown in ``--help``, naming the paper figure.
-    run:
-        Executes the experiment through the given engine and returns the
-        plain-text report.
+    build:
+        Executes the experiment through the given engine and returns its
+        typed :class:`~repro.results.model.ExperimentResult`.
     """
 
     name: str
     description: str
-    run: RunnerFn
+    build: ResultRunnerFn
+
+    def run_result(
+        self, config: ExperimentConfig, engine: Optional[ExperimentEngine]
+    ) -> ExperimentResult:
+        """Execute the experiment and return its structured result."""
+        return self.build(config, engine)
+
+    def run(self, config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
+        """Deprecated text shim: execute and render the plain-text report.
+
+        Kept so call sites that predate the structured-results pipeline
+        keep working; the output is byte-identical to theirs because the
+        rendering is a pure view over the result.  New code should call
+        :meth:`run_result` (or :func:`repro.api.run`) and render with
+        :func:`repro.results.render.render_text` only where text is
+        actually needed.
+        """
+        return render_text(self.run_result(config, engine))
 
 
-def _run_capacity(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
-    return render_capacity_table(run_capacity_experiment(config=config, engine=engine))
+def _build_capacity(
+    config: ExperimentConfig, engine: Optional[ExperimentEngine]
+) -> ExperimentResult:
+    return capacity_result(
+        "capacity", run_capacity_experiment(config=config, engine=engine), config
+    )
 
 
-def _run_alice_bob(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
-    return run_alice_bob_experiment(config, engine=engine).render()
+def _build_alice_bob(
+    config: ExperimentConfig, engine: Optional[ExperimentEngine]
+) -> ExperimentResult:
+    return experiment_report_result(
+        "alice-bob", run_alice_bob_experiment(config, engine=engine), config
+    )
 
 
-def _run_x(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
-    return run_x_topology_experiment(config, engine=engine).render()
+def _build_x(
+    config: ExperimentConfig, engine: Optional[ExperimentEngine]
+) -> ExperimentResult:
+    return experiment_report_result(
+        "x", run_x_topology_experiment(config, engine=engine), config
+    )
 
 
-def _run_chain(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
-    return run_chain_experiment(config, engine=engine).render()
+def _build_chain(
+    config: ExperimentConfig, engine: Optional[ExperimentEngine]
+) -> ExperimentResult:
+    return experiment_report_result(
+        "chain", run_chain_experiment(config, engine=engine), config
+    )
 
 
-def _run_sir(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
+def _build_sir(
+    config: ExperimentConfig, engine: Optional[ExperimentEngine]
+) -> ExperimentResult:
     points = run_sir_sweep(
         config, packets_per_point=config.packets_per_run, engine=engine
     )
-    return render_sir_table(points)
+    return sir_result(
+        "sir", points, config, params={"packets_per_point": config.packets_per_run}
+    )
 
 
-def _run_snr(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
-    return render_snr_table(run_snr_sweep(config, engine=engine))
+def _build_snr(
+    config: ExperimentConfig, engine: Optional[ExperimentEngine]
+) -> ExperimentResult:
+    return snr_result("snr", run_snr_sweep(config, engine=engine), config)
 
 
-def _run_summary(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -> str:
-    return run_summary(config, engine=engine).render()
+def _build_summary(
+    config: ExperimentConfig, engine: Optional[ExperimentEngine]
+) -> ExperimentResult:
+    return summary_result("summary", run_summary(config, engine=engine), config)
 
 
 #: Registry of every experiment, keyed by CLI name (insertion order is the
@@ -84,13 +156,13 @@ def _run_summary(config: ExperimentConfig, engine: Optional[ExperimentEngine]) -
 RUNNERS: Dict[str, RunnerSpec] = {
     spec.name: spec
     for spec in (
-        RunnerSpec("capacity", "Fig. 7  — capacity bounds vs SNR", _run_capacity),
-        RunnerSpec("alice-bob", "Fig. 9  — Alice-Bob topology", _run_alice_bob),
-        RunnerSpec("x", "Fig. 10 — the X topology", _run_x),
-        RunnerSpec("chain", "Fig. 12 — chain topology", _run_chain),
-        RunnerSpec("sir", "Fig. 13 — BER vs SIR", _run_sir),
-        RunnerSpec("snr", "extension — gain and BER vs operating SNR", _run_snr),
-        RunnerSpec("summary", "§11.3  — summary of results", _run_summary),
+        RunnerSpec("capacity", "Fig. 7  — capacity bounds vs SNR", _build_capacity),
+        RunnerSpec("alice-bob", "Fig. 9  — Alice-Bob topology", _build_alice_bob),
+        RunnerSpec("x", "Fig. 10 — the X topology", _build_x),
+        RunnerSpec("chain", "Fig. 12 — chain topology", _build_chain),
+        RunnerSpec("sir", "Fig. 13 — BER vs SIR", _build_sir),
+        RunnerSpec("snr", "extension — gain and BER vs operating SNR", _build_snr),
+        RunnerSpec("summary", "§11.3  — summary of results", _build_summary),
     )
 }
 

@@ -148,43 +148,82 @@ class ScenarioReport:
 
     def gain(self, value: Any, baseline: str) -> float:
         """Mean throughput of the lead scheme over ``baseline`` at a value."""
-        lead = self.spec.schemes[0]
-        base = self.rows[value][baseline]["throughput"]
-        if base == 0.0:
-            return float("inf")
-        return self.rows[value][lead]["throughput"] / base
+        return scenario_gain(self.rows, self.spec.schemes, value, baseline)
 
     def render(self) -> str:
         """Render the scenario summary table as deterministic plain text."""
-        spec = self.spec
-        lead = spec.schemes[0]
-        baselines = [s for s in spec.schemes if s != lead]
-        labels = [spec.sweep_axis]
-        labels += [f"{s} thpt" for s in spec.schemes]
-        labels += [f"{lead}/{b}" for b in baselines]
-        labels += [f"{lead} dlvr", f"{lead} BER"]
-        widths = [max(8, len(label)) for label in labels]
-        lines = [f"=== scenario {spec.name} ==="]
-        lines.append(
-            " | ".join(f"{label:>{w}}" for label, w in zip(labels, widths))
+        return render_scenario_table(
+            name=self.spec.name,
+            sweep_axis=self.spec.sweep_axis,
+            schemes=self.spec.schemes,
+            sweep_values=self.sweep_values,
+            rows=self.rows,
+            runs=self.runs,
         )
-        lines.append("-" * len(lines[1]))
-        for value in self.sweep_values:
-            row = self.rows[value]
-            cells = [f"{value!s}"]
-            cells += [f"{row[s]['throughput']:.4f}" for s in spec.schemes]
-            cells += [f"{self.gain(value, b):.2f}" for b in baselines]
-            delivery = (
-                row[lead]["delivered"] / row[lead]["offered"]
-                if row[lead]["offered"]
-                else 0.0
-            )
-            cells += [f"{delivery:.3f}", f"{row[lead]['mean_ber']:.4f}"]
-            lines.append(
-                " | ".join(f"{cell:>{w}}" for cell, w in zip(cells, widths))
-            )
-        lines.append(f"runs per point: {self.runs}")
-        return "\n".join(lines)
+
+    def to_result(self, config: Optional[ExperimentConfig] = None) -> "ExperimentResult":
+        """Flatten the report into a typed, serializable result object."""
+        from repro.results.adapters import scenario_result
+
+        return scenario_result(self, config if config is not None else ExperimentConfig())
+
+
+def scenario_gain(
+    rows: Mapping[Any, Mapping[str, Mapping[str, float]]],
+    schemes: Sequence[str],
+    value: Any,
+    baseline: str,
+) -> float:
+    """Mean throughput of the lead scheme over ``baseline`` at one value."""
+    lead = schemes[0]
+    base = rows[value][baseline]["throughput"]
+    if base == 0.0:
+        return float("inf")
+    return rows[value][lead]["throughput"] / base
+
+
+def render_scenario_table(
+    name: str,
+    sweep_axis: str,
+    schemes: Sequence[str],
+    sweep_values: Sequence[Any],
+    rows: Mapping[Any, Mapping[str, Mapping[str, float]]],
+    runs: int,
+) -> str:
+    """Render a scenario's summary table from its aggregated row mapping.
+
+    Shared by :meth:`ScenarioReport.render` and the structured-results
+    renderer (:mod:`repro.results.render`), so the text view stays
+    byte-identical whichever path produced the numbers.
+    """
+    lead = schemes[0]
+    baselines = [s for s in schemes if s != lead]
+    labels = [sweep_axis]
+    labels += [f"{s} thpt" for s in schemes]
+    labels += [f"{lead}/{b}" for b in baselines]
+    labels += [f"{lead} dlvr", f"{lead} BER"]
+    widths = [max(8, len(label)) for label in labels]
+    lines = [f"=== scenario {name} ==="]
+    lines.append(
+        " | ".join(f"{label:>{w}}" for label, w in zip(labels, widths))
+    )
+    lines.append("-" * len(lines[1]))
+    for value in sweep_values:
+        row = rows[value]
+        cells = [f"{value!s}"]
+        cells += [f"{row[s]['throughput']:.4f}" for s in schemes]
+        cells += [f"{scenario_gain(rows, schemes, value, b):.2f}" for b in baselines]
+        delivery = (
+            row[lead]["delivered"] / row[lead]["offered"]
+            if row[lead]["offered"]
+            else 0.0
+        )
+        cells += [f"{delivery:.3f}", f"{row[lead]['mean_ber']:.4f}"]
+        lines.append(
+            " | ".join(f"{cell:>{w}}" for cell, w in zip(cells, widths))
+        )
+    lines.append(f"runs per point: {runs}")
+    return "\n".join(lines)
 
 
 def run_scenario(

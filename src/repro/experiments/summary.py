@@ -19,6 +19,34 @@ from repro.experiments.sir_sweep import SIRPoint, run_sir_sweep
 from repro.experiments.x_topology import run_x_topology_experiment
 from repro.metrics.report import ExperimentReport
 
+#: The paper's §11.3 headline numbers, shown next to the measured column.
+PAPER_REFERENCE = {
+    "alice_bob_gain_over_traditional": 1.70,
+    "alice_bob_gain_over_cope": 1.30,
+    "alice_bob_mean_ber": 0.04,
+    "x_gain_over_traditional": 1.65,
+    "x_gain_over_cope": 1.28,
+    "chain_gain_over_traditional": 1.36,
+    "chain_mean_ber": 0.015,
+    "ber_at_minus3db_sir": 0.05,
+}
+
+
+def render_summary_rows(rows: Dict[str, float]) -> str:
+    """Render the §11.3 measured-vs-paper table from its metric rows.
+
+    Shared by :meth:`SummaryResult.render` and the structured-results
+    renderer (:mod:`repro.results.render`), so the text view stays
+    byte-identical whichever path produced the numbers.
+    """
+    lines = ["=== Summary of results (paper §11.3) ==="]
+    lines.append(f"{'metric':38} | {'measured':>9} | {'paper':>7}")
+    lines.append("-" * 62)
+    for key, value in rows.items():
+        reference = PAPER_REFERENCE.get(key, float('nan'))
+        lines.append(f"{key:38} | {value:9.3f} | {reference:7.3f}")
+    return "\n".join(lines)
+
 
 @dataclass
 class SummaryResult:
@@ -48,23 +76,7 @@ class SummaryResult:
 
     def render(self) -> str:
         """Plain-text rendering of the summary table."""
-        lines = ["=== Summary of results (paper §11.3) ==="]
-        paper_reference = {
-            "alice_bob_gain_over_traditional": 1.70,
-            "alice_bob_gain_over_cope": 1.30,
-            "alice_bob_mean_ber": 0.04,
-            "x_gain_over_traditional": 1.65,
-            "x_gain_over_cope": 1.28,
-            "chain_gain_over_traditional": 1.36,
-            "chain_mean_ber": 0.015,
-            "ber_at_minus3db_sir": 0.05,
-        }
-        lines.append(f"{'metric':38} | {'measured':>9} | {'paper':>7}")
-        lines.append("-" * 62)
-        for key, value in self.rows().items():
-            reference = paper_reference.get(key, float('nan'))
-            lines.append(f"{key:38} | {value:9.3f} | {reference:7.3f}")
-        return "\n".join(lines)
+        return render_summary_rows(self.rows())
 
 
 def run_summary(

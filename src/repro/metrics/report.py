@@ -111,6 +111,22 @@ class ExperimentReport:
             lines.append(f"{key}: {value:.4f}")
         return "\n".join(lines)
 
+    def to_result(self, name: str, config) -> "ExperimentResult":
+        """Flatten the report into a typed, serializable result object.
+
+        ``name`` is the registry name the result is filed under (e.g.
+        ``"alice-bob"``); ``config`` is the
+        :class:`~repro.experiments.config.ExperimentConfig` of the run,
+        snapshotted into the result.  The returned
+        :class:`~repro.results.model.ExperimentResult` carries everything
+        :meth:`render` consumes, so
+        :func:`repro.results.render.render_text` reproduces this report's
+        text byte-for-byte.
+        """
+        from repro.results.adapters import experiment_report_result
+
+        return experiment_report_result(name, self, config)
+
     def summary_row(self) -> Dict[str, float]:
         """Compact dictionary of the headline numbers (for the summary table)."""
         row: Dict[str, float] = {}

@@ -1,0 +1,46 @@
+"""Typed, serializable experiment results (the structured-results pipeline).
+
+This package is the stable programmatic contract for every experiment in
+the reproduction:
+
+* :mod:`repro.results.model` — :class:`ExperimentResult`, its
+  :class:`Series`/:class:`Record` tables, and the lossless
+  ``to_dict``/``from_dict``/JSON/CSV serialization with a versioned
+  schema (:data:`SCHEMA_VERSION`);
+* :mod:`repro.results.adapters` — builders that flatten the rich
+  experiment objects (reports, curves, point lists, scenario tables)
+  into results;
+* :mod:`repro.results.render` — :func:`render_text`, the plain-text view
+  that regenerates the legacy reports byte-for-byte from the structured
+  data.
+
+Obtain results through the facade::
+
+    from repro import api
+
+    result = api.run("alice-bob", config=ExperimentConfig.quick())
+    print(render_text(result))          # the familiar text report
+    path.write_text(result.to_json())   # machine-readable export
+
+See ``docs/API.md`` for the schema reference.
+"""
+
+from repro.results.model import (
+    SCHEMA_VERSION,
+    Cell,
+    ExperimentResult,
+    Record,
+    Series,
+    config_digest,
+)
+from repro.results.render import render_text
+
+__all__ = [
+    "Cell",
+    "ExperimentResult",
+    "Record",
+    "SCHEMA_VERSION",
+    "Series",
+    "config_digest",
+    "render_text",
+]

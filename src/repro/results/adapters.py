@@ -1,0 +1,302 @@
+"""Builders that turn the rich experiment objects into :class:`ExperimentResult`.
+
+Each figure runner and scenario sweep keeps producing the rich view object
+it always produced (:class:`~repro.metrics.report.ExperimentReport`,
+:class:`~repro.capacity.sweep.CapacityCurve`, point lists,
+:class:`~repro.experiments.scenarios.ScenarioReport`); the adapters here
+flatten those objects into the typed, serializable result model of
+:mod:`repro.results.model` without losing anything the plain-text
+rendering needs — which is what lets
+:func:`repro.results.render.render_text` regenerate the legacy reports
+byte-for-byte from the structured data alone.
+
+The adapters are deliberately duck-typed (they only read public
+attributes), so this module depends on nothing above the result model and
+can be imported from anywhere in the package without cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+import repro
+from repro.results.model import ExperimentResult, Series
+
+#: Columns of the per-run table shared by every figure experiment.
+RUN_COLUMNS = (
+    "run",
+    "scheme",
+    "topology",
+    "throughput",
+    "packets_offered",
+    "packets_delivered",
+    "packets_lost",
+    "air_time_samples",
+    "slots_used",
+    "mean_ber",
+    "delivery_ratio",
+    "mean_overlap",
+    "redundancy_overhead",
+)
+
+
+def config_snapshot(config: Any) -> Dict[str, Any]:
+    """JSON-ready snapshot of an experiment config (dataclass or mapping)."""
+    if is_dataclass(config) and not isinstance(config, type):
+        return asdict(config)
+    return dict(config)
+
+
+def _base_meta(renderer: str, extra: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+    """Common metadata every adapter stamps on its result."""
+    meta: Dict[str, Any] = {
+        "renderer": renderer,
+        "version": getattr(repro, "__version__", "0"),
+    }
+    if extra:
+        meta.update(extra)
+    return meta
+
+
+def _run_rows(scheme_runs: Mapping[str, Sequence[Any]]) -> Series:
+    """Per-run summary table over every scheme's :class:`RunResult` list."""
+    rows = []
+    for scheme, runs in scheme_runs.items():
+        for index, run in enumerate(runs):
+            record = run.to_record()
+            rows.append((index, scheme) + tuple(record[c] for c in RUN_COLUMNS[2:]))
+    return Series(name="runs", columns=RUN_COLUMNS, rows=tuple(rows))
+
+
+def experiment_report_result(
+    name: str, report: Any, config: Any
+) -> ExperimentResult:
+    """Flatten an :class:`~repro.metrics.report.ExperimentReport`.
+
+    Captures the per-run results of every scheme (``runs`` series), the
+    per-run gain samples behind each comparison CDF (``gains`` series),
+    the sorted per-packet BER samples behind the BER CDF (``ber``
+    series), and the report's extra scalars — everything
+    :meth:`ExperimentReport.render` consumes.
+    """
+    gain_rows = []
+    for baseline, comparison in report.comparisons.items():
+        for sample in comparison.samples:
+            gain_rows.append((
+                baseline,
+                sample.run_index,
+                sample.gain,
+                sample.anc_throughput,
+                sample.baseline_throughput,
+            ))
+    series: Dict[str, Series] = {}
+    scheme_runs: Dict[str, Sequence[Any]] = {"anc": report.anc_runs}
+    scheme_runs.update(report.baseline_runs)
+    if any(len(runs) for runs in scheme_runs.values()):
+        series["runs"] = _run_rows(scheme_runs)
+    series["gains"] = Series(
+        name="gains",
+        columns=("baseline", "run", "gain", "anc_throughput", "baseline_throughput"),
+        rows=tuple(gain_rows),
+    )
+    if report.ber_cdf is not None:
+        series["ber"] = Series(
+            name="ber",
+            columns=("ber",),
+            rows=tuple((float(v),) for v in report.ber_cdf.samples),
+        )
+    snapshot = config_snapshot(config)
+    return ExperimentResult(
+        name=name,
+        kind="figure",
+        config=snapshot,
+        seed=int(snapshot.get("seed", 0)),
+        series=series,
+        scalars=dict(report.extras),
+        meta=_base_meta("report", {
+            "title": report.name,
+            "baselines": list(report.comparisons),
+        }),
+    )
+
+
+def capacity_result(name: str, curve: Any, config: Any) -> ExperimentResult:
+    """Flatten a :class:`~repro.capacity.sweep.CapacityCurve` (Fig. 7).
+
+    ``crossover_db`` is NaN when the swept grid does not bracket the
+    crossover; the result model only stores finite numbers, so such
+    scalars are *omitted* and the renderer restores NaN on the way back.
+    """
+    snapshot = config_snapshot(config)
+    series = Series(
+        name="curve",
+        columns=("snr_db", "traditional", "anc", "gain"),
+        rows=tuple(
+            (float(s), float(t), float(a), float(g)) for s, t, a, g in curve.as_rows()
+        ),
+    )
+    scalars = {
+        key: float(value)
+        for key, value in (
+            ("crossover_db", curve.crossover_db),
+            ("asymptotic_gain", curve.asymptotic_gain),
+        )
+        if math.isfinite(value)
+    }
+    return ExperimentResult(
+        name=name,
+        kind="figure",
+        config=snapshot,
+        seed=int(snapshot.get("seed", 0)),
+        series={"curve": series},
+        scalars=scalars,
+        meta=_base_meta("capacity"),
+    )
+
+
+def sir_result(
+    name: str,
+    points: Iterable[Any],
+    config: Any,
+    params: Optional[Mapping[str, Any]] = None,
+) -> ExperimentResult:
+    """Flatten the Fig. 13 BER-vs-SIR point list."""
+    snapshot = config_snapshot(config)
+    series = Series(
+        name="points",
+        columns=("sir_db", "mean_ber", "packets", "decode_failures"),
+        rows=tuple(
+            (float(p.sir_db), float(p.mean_ber), int(p.packets), int(p.decode_failures))
+            for p in points
+        ),
+    )
+    return ExperimentResult(
+        name=name,
+        kind="figure",
+        config=snapshot,
+        seed=int(snapshot.get("seed", 0)),
+        series={"points": series},
+        meta=_base_meta("sir", {"params": dict(params) if params else {}}),
+    )
+
+
+def snr_result(
+    name: str,
+    points: Iterable[Any],
+    config: Any,
+    params: Optional[Mapping[str, Any]] = None,
+) -> ExperimentResult:
+    """Flatten the extension SNR-sweep point list."""
+    snapshot = config_snapshot(config)
+    series = Series(
+        name="points",
+        columns=(
+            "snr_db",
+            "gain_over_traditional",
+            "mean_ber",
+            "delivery_ratio",
+            "theoretical_gain",
+        ),
+        rows=tuple(
+            (
+                float(p.snr_db),
+                float(p.gain_over_traditional),
+                float(p.mean_ber),
+                float(p.delivery_ratio),
+                float(p.theoretical_gain),
+            )
+            for p in points
+        ),
+    )
+    return ExperimentResult(
+        name=name,
+        kind="figure",
+        config=snapshot,
+        seed=int(snapshot.get("seed", 0)),
+        series={"points": series},
+        meta=_base_meta("snr", {"params": dict(params) if params else {}}),
+    )
+
+
+def summary_result(name: str, summary: Any, config: Any) -> ExperimentResult:
+    """Flatten the §11.3 summary into its metric/measured table."""
+    snapshot = config_snapshot(config)
+    rows = summary.rows()
+    series = Series(
+        name="rows",
+        columns=("metric", "measured"),
+        rows=tuple((key, float(value)) for key, value in rows.items()),
+    )
+    return ExperimentResult(
+        name=name,
+        kind="figure",
+        config=snapshot,
+        seed=int(snapshot.get("seed", 0)),
+        series={"rows": series},
+        scalars=dict(rows),
+        meta=_base_meta("summary"),
+    )
+
+
+def scenario_result(report: Any, config: Any) -> ExperimentResult:
+    """Flatten a :class:`~repro.experiments.scenarios.ScenarioReport`.
+
+    The sweep grid goes into one long-format ``cells`` series (sweep
+    value, scheme, metric, mean over runs); the axis metadata the table
+    renderer needs (axis label, scheme order, value order, runs per
+    point) rides along in ``meta``.
+    """
+    spec = report.spec
+    cell_rows = []
+    for value in report.sweep_values:
+        row = report.rows[value]
+        for scheme in spec.schemes:
+            for metric in sorted(row[scheme]):
+                cell_rows.append((value, scheme, metric, float(row[scheme][metric])))
+    snapshot = config_snapshot(config)
+    series = Series(
+        name="cells",
+        columns=("value", "scheme", "metric", "mean"),
+        rows=tuple(cell_rows),
+    )
+    return ExperimentResult(
+        name=spec.name,
+        kind="scenario",
+        config=snapshot,
+        seed=int(snapshot.get("seed", 0)),
+        series={"cells": series},
+        meta=_base_meta("scenario", {
+            "sweep_axis": spec.sweep_axis,
+            "schemes": list(spec.schemes),
+            "sweep_values": list(report.sweep_values),
+            "runs": int(report.runs),
+            "params": dict(spec.params),
+        }),
+    )
+
+
+def attach_engine_meta(
+    result: ExperimentResult,
+    engine: Any,
+    stats: Sequence[Any],
+    elapsed_seconds: float,
+) -> ExperimentResult:
+    """Stamp the executing engine's cache/timing statistics onto a result.
+
+    ``stats`` is the slice of :attr:`ExperimentEngine.stats_log` produced
+    while the experiment ran (one entry per ``map`` invocation —
+    composite experiments like the summary produce several).
+    """
+    return result.with_meta(engine={
+        "workers": int(engine.workers),
+        "batch_size": int(engine.batch_size),
+        "invocations": len(stats),
+        "total_trials": sum(s.total_trials for s in stats),
+        "executed_trials": sum(s.executed_trials for s in stats),
+        "cached_trials": sum(s.cached_trials for s in stats),
+        "elapsed_seconds": float(elapsed_seconds),
+        "digests": [s.digest for s in stats],
+        "cache_dir": str(engine.cache_dir) if engine.cache_dir is not None else None,
+    })

@@ -1,0 +1,98 @@
+"""Tests for the unified :mod:`repro.api` facade."""
+
+import pytest
+
+from repro import api
+from repro.exceptions import ConfigurationError
+from repro.experiments import ExperimentConfig, ExperimentEngine
+from repro.experiments.runner import RUNNERS, get_runner
+from repro.experiments.scenarios import SCENARIOS
+from repro.results import ExperimentResult, SCHEMA_VERSION, render_text
+
+QUICK = ExperimentConfig.quick(seed=11)
+TINY = ExperimentConfig(runs=1, packets_per_run=2, payload_bits=512, seed=3)
+
+
+class TestRegistry:
+    def test_namespace_merges_both_registries(self):
+        names = api.list_experiments()
+        assert names == list(RUNNERS) + list(SCENARIOS)
+
+    def test_kind_filters(self):
+        assert api.list_experiments(kind="figure") == list(RUNNERS)
+        assert api.list_experiments(kind="scenario") == list(SCENARIOS)
+        with pytest.raises(ConfigurationError):
+            api.list_experiments(kind="nope")
+
+    def test_get_experiment(self):
+        entry = api.get_experiment("alice-bob")
+        assert entry.kind == "figure"
+        assert entry.description == RUNNERS["alice-bob"].description
+        assert api.get_experiment("mesh_sweep").kind == "scenario"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            api.get_experiment("does-not-exist")
+        with pytest.raises(ConfigurationError):
+            api.run("does-not-exist")
+
+
+class TestRun:
+    def test_figure_run_returns_schema_versioned_result(self):
+        result = api.run("alice-bob", config=QUICK)
+        assert isinstance(result, ExperimentResult)
+        assert result.schema_version == SCHEMA_VERSION
+        assert result.name == "alice-bob"
+        assert result.kind == "figure"
+        assert result.seed == QUICK.seed
+        assert result.config["runs"] == QUICK.runs
+
+    def test_scenario_run_round_trips_losslessly(self):
+        result = api.run("chain_sweep", config=TINY, quick=True)
+        assert result.kind == "scenario"
+        assert ExperimentResult.from_dict(result.to_dict()) == result
+
+    def test_engine_metadata_attached(self):
+        engine = ExperimentEngine(workers=1)
+        result = api.run("chain", config=QUICK, engine=engine)
+        meta = result.meta["engine"]
+        assert meta["workers"] == 1
+        assert meta["invocations"] == 1
+        assert meta["total_trials"] == QUICK.runs
+        assert meta["executed_trials"] == QUICK.runs
+        assert meta["cached_trials"] == 0
+        assert meta["elapsed_seconds"] >= 0.0
+        assert meta["digests"]
+
+    def test_engine_cache_metadata_reflects_resume(self, tmp_path):
+        engine = ExperimentEngine(workers=1, cache_dir=tmp_path)
+        api.run("chain", config=QUICK, engine=engine)
+        again = api.run("chain", config=QUICK, engine=engine)
+        meta = again.meta["engine"]
+        assert meta["executed_trials"] == 0
+        assert meta["cached_trials"] == QUICK.runs
+        assert meta["cache_dir"] == str(tmp_path)
+
+    def test_summary_aggregates_multiple_engine_invocations(self):
+        engine = ExperimentEngine(workers=1)
+        result = api.run("summary", config=QUICK, engine=engine)
+        assert result.meta["engine"]["invocations"] > 1
+
+    def test_quick_thins_scenario_axis(self):
+        spec = SCENARIOS["chain_sweep"]
+        result = api.run("chain_sweep", config=TINY, quick=True)
+        assert tuple(result.meta["sweep_values"]) == spec.values_for(quick=True)
+
+
+class TestDeprecationShims:
+    def test_runner_text_shim_matches_render_text(self):
+        spec = get_runner("capacity")
+        assert spec.run(QUICK, None) == render_text(spec.run_result(QUICK, None))
+
+    def test_parallel_equals_serial_through_facade(self):
+        serial = api.run("chain_sweep", config=TINY, quick=True)
+        parallel = api.run(
+            "chain_sweep", config=TINY, engine=ExperimentEngine(workers=2), quick=True
+        )
+        assert render_text(serial) == render_text(parallel)
+        assert serial.get_series("cells") == parallel.get_series("cells")

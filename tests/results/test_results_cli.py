@@ -1,0 +1,119 @@
+"""Tests for the CLI's structured-output formats and unified registry."""
+
+import json
+
+import pytest
+
+from repro import __version__, api
+from repro.cli import EXPERIMENTS, FORMATS, SCENARIO_NAMES, build_parser, main
+from repro.experiments import ExperimentConfig
+from repro.experiments.alice_bob import run_alice_bob_experiment
+from repro.results import ExperimentResult, SCHEMA_VERSION
+
+SMALL = ["--runs", "2", "--packets", "3", "--payload-bits", "512"]
+
+
+class TestRegistryDerivation:
+    def test_experiment_lists_derive_from_unified_registry(self):
+        assert list(EXPERIMENTS) == api.list_experiments(kind="figure")
+        assert list(SCENARIO_NAMES) == api.list_experiments(kind="scenario")
+
+    def test_main_parser_accepts_scenarios_too(self):
+        args = build_parser().parse_args(["chain_sweep", "--quick"])
+        assert args.experiment == "chain_sweep"
+        assert args.quick is True
+
+    def test_format_choices(self):
+        args = build_parser().parse_args(["alice-bob", "--format", "json"])
+        assert args.format == "json"
+        assert set(FORMATS) == {"text", "json", "csv"}
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["alice-bob", "--format", "xml"])
+
+
+class TestVersionFlag:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"anc-repro {__version__}"
+
+    def test_scenario_parser_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--version"])
+        assert excinfo.value.code == 0
+        assert "anc-repro run" in capsys.readouterr().out
+
+
+class TestFormats:
+    def test_text_format_is_byte_identical_to_legacy_report(self, capsys):
+        assert main(["alice-bob"] + SMALL) == 0
+        out = capsys.readouterr().out
+        legacy = run_alice_bob_experiment(
+            ExperimentConfig(runs=2, packets_per_run=3, payload_bits=512)
+        ).render()
+        assert out == legacy + "\n"
+
+    def test_json_format_parses_and_is_schema_versioned(self, capsys):
+        assert main(["alice-bob"] + SMALL + ["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["name"] == "alice-bob"
+        result = ExperimentResult.from_dict(payload)
+        assert result.config["runs"] == 2
+
+    def test_csv_format_is_schema_versioned(self, capsys):
+        assert main(["sir"] + SMALL + ["--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"schema_version,{SCHEMA_VERSION}")
+        assert "[series points]" in out
+
+    def test_output_flag_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "result.json"
+        assert main(
+            ["chain"] + SMALL + ["--format", "json", "--output", str(target)]
+        ) == 0
+        assert capsys.readouterr().out == ""
+        result = ExperimentResult.from_json(target.read_text())
+        assert result.name == "chain"
+        assert result.meta["engine"]["workers"] == 1
+
+    def test_scenario_subcommand_json(self, capsys):
+        assert main(
+            ["run", "chain_sweep", "--quick", "--runs", "1", "--packets", "2",
+             "--payload-bits", "512", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "scenario"
+        assert payload["meta"]["runs"] == 1
+
+    def test_scenario_via_main_parser(self, capsys):
+        assert main(["chain_sweep", "--quick", "--runs", "1", "--packets", "2",
+                     "--payload-bits", "512"]) == 0
+        assert "=== scenario chain_sweep ===" in capsys.readouterr().out
+
+    def test_scenario_quick_config_matches_run_subcommand(self):
+        # 'anc-repro chain_sweep --quick' must use the same smoke-test
+        # config base as 'anc-repro run chain_sweep --quick'.
+        from repro.cli import _unified_config_from_args
+
+        parser = build_parser()
+        args = parser.parse_args(["chain_sweep", "--quick"])
+        assert _unified_config_from_args(args, parser) == ExperimentConfig.quick(
+            seed=args.seed
+        )
+        # Explicit flags still override the quick base.
+        args = parser.parse_args(["chain_sweep", "--quick", "--runs", "5"])
+        config = _unified_config_from_args(args, parser)
+        assert config.runs == 5
+        assert config.packets_per_run == ExperimentConfig.quick().packets_per_run
+        # Figures keep the parser defaults.
+        args = parser.parse_args(["alice-bob", "--quick"])
+        assert _unified_config_from_args(args, parser).runs == 10
+
+    def test_unwritable_output_is_clean_error(self, capsys):
+        code = main(["capacity"] + SMALL + [
+            "--format", "json", "--output", "/nonexistent-dir/result.json",
+        ])
+        assert code == 2
+        assert "anc-repro: error:" in capsys.readouterr().err

@@ -1,0 +1,55 @@
+"""Golden-schema test: the exported JSON of a quick ``alice-bob`` run.
+
+Pins the *entire* serialized result — schema version, key layout, config
+snapshot, digest, series tables, scalars, metadata — for the quick-scale
+Alice-Bob experiment.  The replay configuration is read back out of the
+fixture's own ``config`` snapshot (no duplicated constants): whatever
+configuration ``tools/make_golden.py`` pinned is exactly what this test
+re-runs.  Any change to the export layout or to the reproduced numbers
+fails here; after an intentional change, regenerate with
+``PYTHONPATH=src python tools/make_golden.py`` and commit the updated
+fixture alongside the change that justifies it.
+"""
+
+import json
+from pathlib import Path
+
+from repro import api
+from repro.experiments import ExperimentConfig
+from repro.results import ExperimentResult, SCHEMA_VERSION, render_text
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "result_alice_bob_quick.json"
+
+
+def _normalized(result) -> dict:
+    """The result's dict with the one volatile field pinned.
+
+    Mirrors ``tools/make_golden.py``'s ``normalized_result_dict``:
+    wall-clock timing is the only non-deterministic field of a serial,
+    cache-less run.
+    """
+    payload = result.to_dict()
+    payload["meta"]["engine"]["elapsed_seconds"] = 0.0
+    return payload
+
+
+class TestGoldenResultSchema:
+    def test_exported_json_matches_fixture(self):
+        fixture = json.loads(GOLDEN_PATH.read_text())
+        config = ExperimentConfig(
+            **{k: tuple(v) if isinstance(v, list) else v
+               for k, v in fixture["config"].items()}
+        )
+        result = api.run(fixture["name"], config=config)
+        assert _normalized(result) == fixture
+
+    def test_fixture_is_schema_versioned_and_parseable(self):
+        fixture = json.loads(GOLDEN_PATH.read_text())
+        assert fixture["schema_version"] == SCHEMA_VERSION
+        result = ExperimentResult.from_dict(fixture)
+        assert result.name == "alice-bob"
+        assert result.seed == fixture["config"]["seed"]
+        # The pinned structured data still renders as a full text report.
+        text = render_text(result)
+        assert "fig09_alice_bob" in text
+        assert "gain" in text

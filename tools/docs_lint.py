@@ -34,6 +34,7 @@ DOCSTRING_PACKAGES = (
     "src/repro/network",
     "src/repro/mac",
     "src/repro/node",
+    "src/repro/results",
 )
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

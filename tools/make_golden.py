@@ -44,9 +44,30 @@ GOLDEN_EXPERIMENTS = {
 }
 
 
+#: The structured-result schema fixture: experiment and file name.
+RESULT_FIXTURE_EXPERIMENT = "alice-bob"
+RESULT_FIXTURE_NAME = "result_alice_bob_quick.json"
+
+
 def golden_config() -> ExperimentConfig:
     """The configuration the fixtures are pinned to."""
     return ExperimentConfig(**GOLDEN_CONFIG_FIELDS)
+
+
+def normalized_result_dict(result) -> dict:
+    """A result's ``to_dict`` with volatile fields pinned.
+
+    Wall-clock timing is the only non-deterministic part of an
+    :class:`~repro.results.model.ExperimentResult` produced by a serial
+    cache-less engine; zeroing it makes the exported JSON reproducible,
+    which is what lets ``tests/results/test_results_golden.py`` pin the
+    whole schema byte-for-byte.
+    """
+    payload = result.to_dict()
+    engine_meta = payload.get("meta", {}).get("engine")
+    if engine_meta is not None:
+        engine_meta["elapsed_seconds"] = 0.0
+    return payload
 
 
 def main() -> int:
@@ -63,6 +84,15 @@ def main() -> int:
         path = GOLDEN_DIR / f"{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path.relative_to(REPO_ROOT)}")
+
+    from repro import api  # noqa: E402  (after sys.path setup)
+
+    result = api.run(RESULT_FIXTURE_EXPERIMENT, config=config)
+    path = GOLDEN_DIR / RESULT_FIXTURE_NAME
+    path.write_text(
+        json.dumps(normalized_result_dict(result), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {path.relative_to(REPO_ROOT)}")
     return 0
 
 

@@ -55,9 +55,9 @@ def write_result(name: str, text: str, check_reference: bool = True) -> Path:
         rejected.write_text(text + "\n")
         raise AssertionError(
             f"{name} no longer matches its checked-in reference rendering: "
-            f"the seeded experiment output drifted (regenerated text kept at "
+            "the seeded experiment output drifted (regenerated text kept at "
             f"{rejected}; rerun with ANC_UPDATE_RESULTS=1 if the change is "
-            f"intentional)"
+            "intentional)"
         )
     path.write_text(text + "\n")
     return path

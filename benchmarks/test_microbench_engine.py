@@ -26,7 +26,7 @@ import pytest
 
 from conftest import write_result
 
-from repro.experiments.alice_bob import run_alice_bob_experiment, run_alice_bob_trial
+from repro.experiments.alice_bob import run_alice_bob_experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import ExperimentEngine
 

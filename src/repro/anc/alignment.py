@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.anc.lemma import phase_solutions
 from repro.anc.matching import match_phase_differences
-from repro.constants import MSK_PHASE_STEP
 from repro.exceptions import SynchronizationError
 from repro.framing.pilot import PilotSequence, find_pilot
 from repro.modulation.msk import MSKDemodulator

@@ -30,7 +30,7 @@ the two under channel-estimation error.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -48,7 +48,6 @@ from repro.anc.batch import (
 )
 from repro.anc.lemma import phase_solutions
 from repro.anc.matching import match_phase_differences
-from repro.constants import MSK_PHASE_STEP
 from repro.exceptions import DecodingError
 from repro.modulation.batch import batch_expected_phase_differences
 from repro.modulation.msk import expected_phase_differences

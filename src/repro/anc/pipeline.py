@@ -26,12 +26,12 @@ packets per run).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from repro.anc.alignment import align_known_frame, find_interference_start
+from repro.anc.alignment import align_known_frame
 from repro.anc.decoder import DecodeDiagnostics, DecoderConfig, InterferenceDecoder
 from repro.exceptions import (
     DecodingError,

@@ -25,12 +25,14 @@ class AWGNChannel(Channel):
     """
 
     def __init__(self, noise_power: float, rng: Optional[np.random.Generator] = None) -> None:
+        """See the class docstring for the parameter semantics."""
         if noise_power < 0:
             raise ChannelError("noise power must be non-negative")
         self.noise_power = float(noise_power)
         self._rng = rng if rng is not None else np.random.default_rng()
 
     def apply(self, signal: ComplexSignal) -> ComplexSignal:
+        """Add one fresh noise realisation to the signal."""
         if self.noise_power == 0.0 or len(signal) == 0:
             return signal
         noise = complex_gaussian_noise(len(signal), self.noise_power, self._rng)

@@ -17,11 +17,13 @@ class DelayChannel(Channel):
     """
 
     def __init__(self, delay_samples: int) -> None:
+        """Create a delay of ``delay_samples`` samples (non-negative)."""
         if delay_samples < 0:
             raise ChannelError("delay must be non-negative")
         self.delay_samples = int(delay_samples)
 
     def apply(self, signal: ComplexSignal) -> ComplexSignal:
+        """Prepend ``delay_samples`` zeros to the signal."""
         if self.delay_samples == 0:
             return signal
         return delay_signal(signal, self.delay_samples)

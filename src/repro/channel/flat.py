@@ -56,6 +56,7 @@ class FlatFadingChannel(Channel):
         phase_drift: float = 0.0,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
+        """See the class docstring for the parameter semantics."""
         if attenuation <= 0:
             raise ChannelError("attenuation must be positive")
         self.attenuation = float(attenuation)
@@ -76,6 +77,7 @@ class FlatFadingChannel(Channel):
         return self.attenuation ** 2
 
     def apply(self, signal: ComplexSignal) -> ComplexSignal:
+        """Apply the (possibly drifting) complex gain to every sample."""
         samples = signal.samples
         if samples.size == 0:
             return signal

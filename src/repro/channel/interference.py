@@ -80,6 +80,7 @@ class OverlapModel:
         min_offset: int = 0,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
+        """See the class docstring for the parameter semantics."""
         self.mean_overlap = ensure_probability(mean_overlap, "mean_overlap")
         self.jitter = ensure_probability(jitter, "jitter")
         if min_offset < 0:
@@ -118,6 +119,7 @@ class InterferenceCombiner:
     """
 
     def __init__(self, noise_power: float = 0.0, rng: Optional[np.random.Generator] = None) -> None:
+        """See the class docstring for the parameter semantics."""
         if noise_power < 0:
             raise ChannelError("noise power must be non-negative")
         self.noise_power = float(noise_power)

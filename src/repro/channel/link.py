@@ -10,15 +10,17 @@ for direct application to a waveform, and exposes the derived quantities
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from repro.channel.awgn import AWGNChannel
+from repro.channel.cfo import CarrierFrequencyOffsetChannel
 from repro.channel.delay import DelayChannel
+from repro.channel.fading import FADING_KINDS, make_fading_channel
 from repro.channel.flat import FlatFadingChannel
-from repro.channel.model import ChannelChain
+from repro.channel.model import Channel, ChannelChain
 from repro.exceptions import ChannelError
 from repro.signal.samples import ComplexSignal
 from repro.utils.db import power_ratio_to_db
@@ -44,6 +46,20 @@ class Link:
     attenuation_drift, phase_drift:
         Optional slow drift of the channel coefficient (see
         :class:`~repro.channel.flat.FlatFadingChannel`).
+    sender_cfo:
+        Additional oscillator offset of the *transmitting* radio (radians
+        per sample), applied as a dedicated
+        :class:`~repro.channel.cfo.CarrierFrequencyOffsetChannel` stage
+        ahead of the path response.  The impairment subsystem
+        (:mod:`repro.channel.impairments`) sets the same value on every
+        outgoing link of a sender — one oscillator per radio.  ``0``
+        (the default) adds no stage, keeping the chain byte-identical to
+        the pre-impairment behaviour.
+    fading, fading_k_db, fading_mode, fading_doppler, fading_los_phase:
+        Stochastic small-scale fading of this path (see
+        :mod:`repro.channel.fading`): the family (``"none"`` disables the
+        stage entirely), the Rician K-factor in dB, the block/drift time
+        structure, the drift rate, and the Rician LOS phase.
     """
 
     attenuation: float = 1.0
@@ -53,14 +69,25 @@ class Link:
     frequency_offset: float = 0.0
     attenuation_drift: float = 0.0
     phase_drift: float = 0.0
+    sender_cfo: float = 0.0
+    fading: str = "none"
+    fading_k_db: float = 6.0
+    fading_mode: str = "block"
+    fading_doppler: float = 0.0
+    fading_los_phase: float = 0.0
 
     def __post_init__(self) -> None:
+        """Validate the link parameters."""
         if self.attenuation <= 0:
             raise ChannelError("link attenuation must be positive")
         if self.propagation_delay < 0:
             raise ChannelError("propagation delay must be non-negative")
         if self.noise_power < 0:
             raise ChannelError("noise power must be non-negative")
+        if self.fading not in FADING_KINDS:
+            raise ChannelError(
+                f"unknown fading kind {self.fading!r}; choose from {FADING_KINDS}"
+            )
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -95,8 +122,18 @@ class Link:
         include_noise: bool = True,
         rng: Optional[np.random.Generator] = None,
     ) -> ChannelChain:
-        """Build the channel-stage chain corresponding to this link."""
-        stages = [
+        """Build the channel-stage chain corresponding to this link.
+
+        Composition order (``docs/CHANNELS.md``): sender oscillator CFO,
+        flat path response, stochastic fading, propagation delay, then
+        receiver noise.  The CFO and fading stages only exist when their
+        link fields are active, so a link without impairments builds the
+        exact pre-impairment chain and consumes no extra randomness.
+        """
+        stages: List[Channel] = []
+        if self.sender_cfo != 0.0:
+            stages.append(CarrierFrequencyOffsetChannel(self.sender_cfo))
+        stages.append(
             FlatFadingChannel(
                 attenuation=self.attenuation,
                 phase_shift=self.phase_shift,
@@ -104,9 +141,19 @@ class Link:
                 attenuation_drift=self.attenuation_drift,
                 phase_drift=self.phase_drift,
                 rng=rng,
-            ),
-            DelayChannel(self.propagation_delay),
-        ]
+            )
+        )
+        fading_stage = make_fading_channel(
+            self.fading,
+            k_db=self.fading_k_db,
+            los_phase=self.fading_los_phase,
+            mode=self.fading_mode,
+            doppler=self.fading_doppler,
+            rng=rng,
+        )
+        if fading_stage is not None:
+            stages.append(fading_stage)
+        stages.append(DelayChannel(self.propagation_delay))
         if include_noise and self.noise_power > 0:
             stages.append(AWGNChannel(self.noise_power, rng=rng))
         return ChannelChain(stages)

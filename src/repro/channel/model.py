@@ -23,6 +23,7 @@ class Channel(abc.ABC):
         """Return the signal as observed after this channel stage."""
 
     def __call__(self, signal: ComplexSignal) -> ComplexSignal:
+        """Alias of :meth:`apply`."""
         return self.apply(signal)
 
 
@@ -30,6 +31,7 @@ class IdentityChannel(Channel):
     """A channel that passes the signal through unchanged (ideal wire)."""
 
     def apply(self, signal: ComplexSignal) -> ComplexSignal:
+        """Return the signal unchanged."""
         return signal
 
 
@@ -37,16 +39,19 @@ class ChannelChain(Channel):
     """Apply a sequence of channel stages in order."""
 
     def __init__(self, stages: Iterable[Channel]) -> None:
+        """Validate and store the stages, in application order."""
         self.stages: List[Channel] = list(stages)
         for stage in self.stages:
             if not isinstance(stage, Channel):
                 raise ChannelError(f"not a Channel stage: {stage!r}")
 
     def apply(self, signal: ComplexSignal) -> ComplexSignal:
+        """Pipe the signal through every stage, first to last."""
         out = signal
         for stage in self.stages:
             out = stage.apply(out)
         return out
 
     def __len__(self) -> int:
+        """Number of stages in the chain."""
         return len(self.stages)

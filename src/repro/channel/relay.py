@@ -11,13 +11,11 @@ capacity analysis.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
 from repro.channel.model import Channel
 from repro.exceptions import ChannelError
-from repro.signal.ops import scale_to_power
 from repro.signal.samples import ComplexSignal
 
 
@@ -36,6 +34,7 @@ class AmplifyAndForwardRelayChannel(Channel):
     """
 
     def __init__(self, transmit_power: float, measure_over_active_samples: bool = True) -> None:
+        """See the class docstring for the parameter semantics."""
         if transmit_power <= 0:
             raise ChannelError("relay transmit power must be positive")
         self.transmit_power = float(transmit_power)
@@ -60,5 +59,6 @@ class AmplifyAndForwardRelayChannel(Channel):
         return float(np.sqrt(self.transmit_power / measured_power))
 
     def apply(self, signal: ComplexSignal) -> ComplexSignal:
+        """Rescale the waveform to the relay's transmit power budget."""
         factor = self.amplification_factor(signal)
         return signal.scaled(factor)

@@ -43,6 +43,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__, api
+from repro.channel.fading import FADING_KINDS, FADING_MODES
+from repro.channel.impairments import ImpairmentConfig
 from repro.exceptions import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine
@@ -96,8 +98,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario sweeps only: thin the sweep axis to smoke-test size",
     )
     _add_engine_arguments(parser)
+    _add_impairment_arguments(parser)
     _add_output_arguments(parser)
     return parser
+
+
+def _add_impairment_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the channel-impairment flags shared by both parsers.
+
+    The defaults disable every impairment, which reproduces the baseline
+    flat channel byte-for-byte (see ``docs/CHANNELS.md``).
+    """
+    parser.add_argument(
+        "--cfo",
+        type=float,
+        default=0.0,
+        help="per-sender carrier frequency offset magnitude in radians per "
+        "sample (offsets spread deterministically over [-cfo, +cfo], so "
+        "every radio's oscillator differs; 0 disables the stage)",
+    )
+    parser.add_argument(
+        "--fading",
+        choices=FADING_KINDS,
+        default="none",
+        help="stochastic fading family applied to every link (default none)",
+    )
+    parser.add_argument(
+        "--rician-k-db",
+        type=float,
+        default=6.0,
+        help="Rician K-factor in dB (only used with --fading rician)",
+    )
+    parser.add_argument(
+        "--fading-mode",
+        choices=FADING_MODES,
+        default="block",
+        help="fading time structure: one fade per packet ('block') or "
+        "in-packet Gauss-Markov evolution ('drift')",
+    )
+    parser.add_argument(
+        "--fading-doppler",
+        type=float,
+        default=0.0,
+        help="normalised fade rate for --fading-mode drift (fraction of the "
+        "gain decorrelated per sample)",
+    )
+
+
+def _impairments_from_args(args: argparse.Namespace) -> ImpairmentConfig:
+    """Build the impairment declaration the CLI flags describe."""
+    return ImpairmentConfig(
+        sender_cfo=args.cfo,
+        fading=args.fading,
+        rician_k_db=args.rician_k_db,
+        fading_mode=args.fading_mode,
+        fading_doppler=args.fading_doppler,
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -181,6 +237,7 @@ def build_scenario_parser() -> argparse.ArgumentParser:
         "--payload-bits", type=int, default=None, help="payload size in bits"
     )
     _add_engine_arguments(parser)
+    _add_impairment_arguments(parser)
     _add_output_arguments(parser)
     return parser
 
@@ -192,6 +249,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         payload_bits=args.payload_bits,
         seed=args.seed,
         batch_size=args.batch_size,
+        impairments=_impairments_from_args(args),
     )
 
 
@@ -221,6 +279,11 @@ def _unified_config_from_args(
             runs=explicit("runs"),
             packets=explicit("packets"),
             payload_bits=explicit("payload_bits"),
+            cfo=args.cfo,
+            fading=args.fading,
+            rician_k_db=args.rician_k_db,
+            fading_mode=args.fading_mode,
+            fading_doppler=args.fading_doppler,
         )
     )
 
@@ -242,6 +305,13 @@ def _scenario_config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         )
         if value is not None
     }
+    impairments = _impairments_from_args(args)
+    if impairments != ImpairmentConfig():
+        # Any non-default flag is carried — including a bare
+        # --fading-mode/--fading-doppler, which `enabled` alone would
+        # miss (scenarios like fading_sweep read the mode even when the
+        # family is chosen by the sweep axis).
+        overrides["impairments"] = impairments
     return base.with_overrides(**overrides) if overrides else base
 
 

@@ -11,7 +11,7 @@ charges against ANC's throughput.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Sequence
+from typing import Iterable, List
 
 import numpy as np
 

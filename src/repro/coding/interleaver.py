@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.coding.fec import BlockCode
-from repro.exceptions import CodingError
 from repro.utils.validation import ensure_bit_array, ensure_positive_int
 
 

@@ -16,9 +16,13 @@ Each module reproduces one figure:
 Beyond the figures, the *scenario* registry
 (:mod:`repro.experiments.scenarios`) hosts N-node workloads declared as
 data — topology generator + flows + sweep axis — and runs them through
-the same engine; :mod:`repro.experiments.chain_sweep` (throughput gain vs
-chain length) and :mod:`repro.experiments.mesh_sweep` (multi-flow random
-meshes) are the shipped examples, dispatched from the CLI as
+the same engine; the shipped scenarios — :mod:`~repro.experiments.chain_sweep`
+(throughput gain vs chain length), :mod:`~repro.experiments.mesh_sweep`
+(multi-flow random meshes), :mod:`~repro.experiments.cfo_sweep` (BER vs
+carrier frequency offset), :mod:`~repro.experiments.fading_sweep` (ANC vs
+digital under Rayleigh/Rician fading) and
+:mod:`~repro.experiments.geometry_mesh` (path-loss meshes with placed
+nodes) — are dispatched from the CLI as
 ``python -m repro.cli run <scenario>``.
 
 Both registries are merged into the single public facade
@@ -58,6 +62,9 @@ from repro.experiments.scenarios import (
 )
 from repro.experiments import chain_sweep as _chain_sweep  # noqa: F401  (registers)
 from repro.experiments import mesh_sweep as _mesh_sweep  # noqa: F401  (registers)
+from repro.experiments import cfo_sweep as _cfo_sweep  # noqa: F401  (registers)
+from repro.experiments import fading_sweep as _fading_sweep  # noqa: F401  (registers)
+from repro.experiments import geometry_mesh as _geometry_mesh  # noqa: F401  (registers)
 
 __all__ = [
     "EngineStats",

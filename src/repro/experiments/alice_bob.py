@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.channel.impairments import IMPAIRMENT_STREAM, apply_impairments
 from repro.channel.interference import OverlapModel
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import ExperimentEngine, default_engine
@@ -47,6 +48,9 @@ def run_alice_bob_trial(
     mean_overlap = cfg.draw_run_overlap(topo_rng)
     conditions = ChannelConditions(snr_db=snr_db)
     topology = alice_bob_topology(conditions, topo_rng)
+    apply_impairments(
+        topology, cfg.impairments, cfg.run_rng(run_index, stream=IMPAIRMENT_STREAM)
+    )
     flow_a = Flow(ALICE, BOB, cfg.packets_per_run)
     flow_b = Flow(BOB, ALICE, cfg.packets_per_run)
 

@@ -22,7 +22,7 @@ from repro.capacity.bounds import (
     traditional_capacity_upper_bound,
 )
 from repro.capacity.sweep import CapacityCurve, validate_snr_grid
-from repro.exceptions import CapacityError
+from repro.exceptions import CapacityError, ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import ExperimentEngine, default_engine
 
@@ -52,12 +52,23 @@ def run_capacity_experiment(
     engine: Optional[ExperimentEngine] = None,
     alpha: float = DEFAULT_ALPHA,
 ) -> CapacityCurve:
-    """Evaluate the Theorem 8.1 bounds over the Fig. 7 SNR range."""
+    """Evaluate the Theorem 8.1 bounds over the Fig. 7 SNR range.
+
+    The bounds are closed-form information-theoretic expressions, not a
+    waveform simulation, so channel impairments cannot apply; a config
+    that requests them is rejected loudly rather than producing a result
+    whose snapshot claims impairments that never acted.
+    """
     if snr_db_values is None:
         snr_db_values = np.arange(0.0, 56.0, 1.0)
     grid = validate_snr_grid(snr_db_values)
 
     cfg = config if config is not None else ExperimentConfig()
+    if cfg.impairments.enabled:
+        raise ConfigurationError(
+            "the capacity experiment evaluates analytic Theorem 8.1 bounds; "
+            "channel impairments (--cfo/--fading) do not apply to it"
+        )
     points = default_engine(engine).run_batched(
         "fig07_capacity",
         run_capacity_point_trial,

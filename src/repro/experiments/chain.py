@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.channel.impairments import IMPAIRMENT_STREAM, apply_impairments
 from repro.channel.interference import OverlapModel
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import ExperimentEngine, default_engine
@@ -43,6 +44,9 @@ def run_chain_trial(
     mean_overlap = cfg.draw_run_overlap(topo_rng)
     conditions = ChannelConditions(snr_db=snr_db)
     topology = chain_topology(conditions, topo_rng)
+    apply_impairments(
+        topology, cfg.impairments, cfg.run_rng(run_index, stream=IMPAIRMENT_STREAM)
+    )
     flow = Flow(CHAIN_PATH[0], CHAIN_PATH[-1], cfg.packets_per_run)
 
     traditional = TraditionalRouting(

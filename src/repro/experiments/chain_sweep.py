@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.channel.impairments import apply_impairments
 from repro.channel.interference import OverlapModel
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenarios import (
@@ -63,6 +64,9 @@ def run_chain_sweep_trial(
     mean_overlap = cfg.draw_run_overlap(topo_rng)
     conditions = ChannelConditions(snr_db=snr_db)
     topology = generate_chain(conditions, topo_rng, hops=hops)
+    apply_impairments(
+        topology, cfg.impairments, cfg.run_rng(run, stream=streams + 6)
+    )
     path = tuple(range(1, hops + 2))
     flow = Flow(path[0], path[-1], cfg.packets_per_run)
 

@@ -10,11 +10,12 @@ published workload for users with time to spare.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.channel.impairments import ImpairmentConfig
 from repro.constants import DEFAULT_ANC_REDUNDANCY_OVERHEAD, PAPER_NUM_RUNS
 from repro.exceptions import ConfigurationError
 
@@ -59,6 +60,13 @@ class ExperimentConfig:
         are identical at every batch size, and it is excluded from the
         engine's cache digest for exactly that reason.  See
         ``docs/PERFORMANCE.md`` for guidance on setting it.
+    impairments:
+        Optional channel impairments (per-sender CFO, stochastic fading)
+        applied on top of the baseline flat channel — see
+        :class:`~repro.channel.impairments.ImpairmentConfig` and
+        ``docs/CHANNELS.md``.  The default disables everything, and a
+        disabled config is excluded from :meth:`snapshot`, so
+        pre-impairment digests, caches and golden fixtures stay stable.
     """
 
     runs: int = PAPER_NUM_RUNS
@@ -72,6 +80,7 @@ class ExperimentConfig:
     chain_redundancy_overhead: float = 0.04
     seed: int = 20070823
     batch_size: int = 1
+    impairments: ImpairmentConfig = ImpairmentConfig()
 
     def __post_init__(self) -> None:
         """Validate the configured ranges."""
@@ -91,6 +100,10 @@ class ExperimentConfig:
             raise ConfigurationError("overlap_range must satisfy 0 < low <= high <= 1")
         if not 0.0 <= self.overlap_jitter <= 0.5:
             raise ConfigurationError("overlap_jitter must lie in [0, 0.5]")
+        if not isinstance(self.impairments, ImpairmentConfig):
+            raise ConfigurationError(
+                "impairments must be an ImpairmentConfig instance"
+            )
 
     # ------------------------------------------------------------------
     # Convenience constructors
@@ -131,6 +144,24 @@ class ExperimentConfig:
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dict of the config fields.
+
+        A default (all-off) impairment declaration is omitted: the key
+        only appears once any impairment field differs from the default,
+        which keeps the engine's cache digests, the structured-result
+        config snapshots and the golden fixtures byte-identical to the
+        pre-impairment library for every existing configuration.  The
+        test is *equality with the default*, not ``enabled``: a bare
+        ``fading_mode="drift"`` request is inactive on most experiments
+        but changes what ``fading_sweep`` computes, so it must fork the
+        digest.
+        """
+        payload = asdict(self)
+        if self.impairments == ImpairmentConfig():
+            payload.pop("impairments")
+        return payload
 
     @property
     def engine_batch_size(self) -> Optional[int]:

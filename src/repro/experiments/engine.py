@@ -181,8 +181,15 @@ class ExperimentEngine:
         configurations (in-place code edits within one version are the
         one thing it cannot detect — see the module docstring).
         """
-        if is_dataclass(config) and not isinstance(config, type):
-            config_repr: Any = asdict(config)
+        snapshot = getattr(config, "snapshot", None)
+        if callable(snapshot):
+            # Configs that curate their own JSON view (ExperimentConfig
+            # omits disabled impairments so old digests stay valid) are
+            # digested through it.
+            config_repr: Any = dict(snapshot())
+            config_repr.pop("batch_size", None)
+        elif is_dataclass(config) and not isinstance(config, type):
+            config_repr = asdict(config)
             # Execution knobs that provably do not change trial results
             # (the differential suite enforces this for batch_size) stay
             # out of the digest so caches survive changing them.

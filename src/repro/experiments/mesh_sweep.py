@@ -25,6 +25,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.channel.impairments import apply_impairments
 from repro.channel.interference import OverlapModel
 from repro.exceptions import ConfigurationError, TopologyError
 from repro.experiments.config import ExperimentConfig
@@ -116,7 +117,31 @@ def run_mesh_sweep_trial(
     mean_overlap = cfg.draw_run_overlap(topo_rng)
     conditions = ChannelConditions(snr_db=snr_db)
     topology = generate_random_mesh(conditions, topo_rng, nodes=nodes, radius=radius)
+    apply_impairments(
+        topology, cfg.impairments, cfg.run_rng(run, stream=streams + 6)
+    )
     flows = draw_mesh_flows(topology, n_flows, cfg.packets_per_run, topo_rng)
+    return run_mesh_schemes(cfg, run, streams, topology, flows, mean_overlap)
+
+
+def run_mesh_schemes(
+    cfg: ExperimentConfig,
+    run: int,
+    streams: int,
+    topology: Topology,
+    flows: List[Flow],
+    mean_overlap: float,
+) -> Dict[str, Dict[str, float]]:
+    """Carry one flow set under all three schemes over a built mesh.
+
+    The scheme-execution half of a mesh trial, shared by ``mesh_sweep``
+    and the path-loss ``geometry_mesh`` scenario: the ANC-aware planner
+    pairs the flows, matched pairs run the two-slot ANC exchange (or
+    digital XOR coding for the ``cope`` cell), leftovers are routed, and
+    every scheme's parts are combined into one metrics cell.  RNG
+    substreams are keyed off ``streams`` exactly as the original
+    mesh-sweep trial laid them out, so the refactor is byte-identical.
+    """
     schedule = plan_mesh_exchanges(topology, flows)
 
     traditional = TraditionalRouting(

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.channel.impairments import impair_link
 from repro.channel.interference import InterferenceCombiner, OverlapModel
 from repro.channel.link import Link
 from repro.channel.relay import AmplifyAndForwardRelayChannel
@@ -96,6 +97,14 @@ def run_sir_point_trial(
             phase_shift=float(rng.uniform(-np.pi, np.pi)),
             frequency_offset=-float(rng.uniform(0.01, 0.04)),
         )
+        if cfg.impairments.enabled:
+            # The hand-built Fig. 13 links honour the same impairment
+            # declaration as topology-based trials: the implicit node set
+            # is (relay 0, Alice 1, Bob 2), so the two colliding senders
+            # get distinct oscillators and every hop fades.
+            offsets = cfg.impairments.sender_offsets([0, 1, 2])
+            impair_link(link_alice, offsets[1], cfg.impairments, rng)
+            impair_link(link_bob, offsets[2], cfg.impairments, rng)
         combiner = InterferenceCombiner(noise_power=noise_power, rng=rng)
         _, offset = overlap_model.draw_offsets(len(alice_wave))
         collision = combiner.combine(
@@ -110,6 +119,13 @@ def run_sir_point_trial(
             frequency_offset=float(rng.uniform(-0.02, 0.02)),
             noise_power=noise_power,
         )
+        if cfg.impairments.enabled:
+            impair_link(
+                downlink,
+                cfg.impairments.sender_offsets([0, 1, 2])[0],
+                cfg.impairments,
+                rng,
+            )
         received = downlink.propagate(broadcast, rng=rng)
 
         buffer = SentPacketBuffer()

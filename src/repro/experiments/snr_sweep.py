@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.capacity.bounds import capacity_gain
+from repro.channel.impairments import IMPAIRMENT_STREAM, apply_impairments
 from repro.channel.interference import OverlapModel
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import ExperimentEngine, default_engine
@@ -64,6 +65,11 @@ def run_snr_point_trial(
         rng = cfg.run_rng(5000 + 100 * index + run, stream=40)
         conditions = ChannelConditions(snr_db=float(snr_db))
         topology = alice_bob_topology(conditions, rng)
+        apply_impairments(
+            topology,
+            cfg.impairments,
+            cfg.run_rng(5000 + 100 * index + run, stream=IMPAIRMENT_STREAM),
+        )
         flow_a = Flow(ALICE, BOB, cfg.packets_per_run)
         flow_b = Flow(BOB, ALICE, cfg.packets_per_run)
         traditional = TraditionalRouting(

@@ -12,7 +12,7 @@ radios at sample granularity (§7.2).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ curves of that per-packet quantity.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List
 
 import numpy as np
 

@@ -9,7 +9,7 @@ quantity are exactly the paper's throughput gains.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable
 
 import numpy as np
 

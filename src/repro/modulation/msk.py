@@ -13,15 +13,12 @@ phase shift ``gamma``.  A positive angle decodes to "1", negative to "0".
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
 from repro.constants import DEFAULT_TX_AMPLITUDE, MSK_PHASE_STEP
-from repro.exceptions import ModulationError
 from repro.modulation.base import BitsLike, Demodulator, ModulationScheme, Modulator
 from repro.signal.samples import ComplexSignal
-from repro.utils.angles import phase_difference
 from repro.utils.validation import ensure_bit_array, ensure_positive, ensure_positive_int
 
 

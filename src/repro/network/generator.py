@@ -15,6 +15,10 @@ shape parameters — and returns a validated
   unit square and linked when within ``radius``, with distance-dependent
   attenuation; disconnected components are stitched together so every
   flow remains routable.
+* :func:`generate_geometric_mesh` — the same placement, but link gains
+  derived from the node geometry through a log-distance
+  :class:`~repro.channel.pathloss.PathLossModel`, so SNR/SIR follow from
+  where the radios landed instead of hand-set constants.
 
 The :data:`GENERATORS` registry maps generator names to factories so a
 :class:`~repro.experiments.scenarios.ScenarioSpec` can name its topology as
@@ -28,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.channel.pathloss import PathLossModel
 from repro.exceptions import ConfigurationError
 from repro.network.topologies import ChannelConditions, _draw_link, chain_topology
 from repro.network.topology import Topology
@@ -129,20 +134,112 @@ def generate_random_mesh(
     node_ids = list(range(1, nodes + 1))
     positions = {node: generator.uniform(0.0, 1.0, size=2) for node in node_ids}
 
+    def _attenuation(distance: float) -> float:
+        # Linear decay from the main-link attenuation at zero distance to
+        # the overhearing level at the edge of the radio range.
+        span = max(radius, distance)
+        fraction = min(distance / span, 1.0)
+        return (
+            cond.mean_attenuation
+            - (cond.mean_attenuation - cond.overhear_attenuation) * fraction
+        )
+
+    return _mesh_from_positions(cond, generator, positions, radius, _attenuation)
+
+
+def generate_geometric_mesh(
+    conditions: Optional[ChannelConditions] = None,
+    rng: Optional[np.random.Generator] = None,
+    nodes: int = 12,
+    radius: float = 0.45,
+    path_loss: Optional[PathLossModel] = None,
+) -> Topology:
+    """A random geometric mesh whose link gains follow a path-loss law.
+
+    Placement and connectivity work exactly like
+    :func:`generate_random_mesh` — ``nodes`` radios dropped uniformly
+    into the unit square, pairs within ``radius`` linked, disconnected
+    components bridged — but every link's mean attenuation is derived
+    from the node *geometry* through a log-distance
+    :class:`~repro.channel.pathloss.PathLossModel` instead of the
+    hand-set linear decay.  Nearby pairs therefore get strong
+    high-SNR links and pairs at the edge of the radio range get weak
+    ones, with the spread controlled by the model's exponent: the mesh's
+    SNR/SIR landscape is a consequence of the placement, as in a real
+    deployment.
+
+    The generated topology carries the placement as
+    ``topology.positions`` (node id → ``(x, y)`` tuple) so callers can
+    relate per-flow results back to the geometry.
+
+    Parameters
+    ----------
+    conditions:
+        Channel statistics for everything that is *not* the mean gain
+        (attenuation jitter, phase, CFO, noise floor).
+    rng:
+        Seeded generator; placement and link draws both come from it.
+    nodes:
+        Number of radios (ids ``1 .. nodes``).
+    radius:
+        Radio range as a fraction of the unit square's side.
+    path_loss:
+        The gain law.  The default
+        (``PathLossModel(exponent=2.0, reference_distance=0.2,
+        reference_attenuation=0.95, min_attenuation=0.05)``) keeps links
+        at the edge of the default radius within the decodable SNR
+        regime of the paper's testbed.
+    """
+    if nodes < 3:
+        raise ConfigurationError("a mesh needs at least 3 nodes")
+    if not 0.0 < radius <= np.sqrt(2.0):
+        raise ConfigurationError("radius must lie in (0, sqrt(2)]")
+    cond = conditions if conditions is not None else ChannelConditions()
+    generator = rng if rng is not None else np.random.default_rng()
+    model = (
+        path_loss
+        if path_loss is not None
+        else PathLossModel(
+            exponent=2.0,
+            reference_distance=0.2,
+            reference_attenuation=0.95,
+            min_attenuation=0.05,
+        )
+    )
+    node_ids = list(range(1, nodes + 1))
+    positions = {node: generator.uniform(0.0, 1.0, size=2) for node in node_ids}
+    return _mesh_from_positions(cond, generator, positions, radius, model.attenuation)
+
+
+def _mesh_from_positions(
+    cond: ChannelConditions,
+    generator: np.random.Generator,
+    positions: Dict[int, np.ndarray],
+    radius: float,
+    attenuation_for: Callable[[float], float],
+) -> Topology:
+    """Build a connected mesh over fixed positions with a given gain law.
+
+    Shared by :func:`generate_random_mesh` (linear-decay law) and
+    :func:`generate_geometric_mesh` (path-loss law): pairs within
+    ``radius`` are linked, then the closest cross-component pairs are
+    bridged, with every link's mean attenuation taken from
+    ``attenuation_for(distance)``.  Draw order is fixed by the sorted
+    node ids, so a given ``generator`` state always yields the same mesh.
+    The placement is recorded as ``topology.positions`` (declared on
+    :class:`~repro.network.topology.Topology`) for both mesh families.
+    """
+    node_ids = sorted(positions)
     topology = Topology()
+    topology.positions = {
+        node: (float(point[0]), float(point[1])) for node, point in positions.items()
+    }
     for node in node_ids:
         topology.add_node(node, noise_power=cond.noise_power)
 
     def _link_pair(a: int, b: int) -> None:
         distance = float(np.linalg.norm(positions[a] - positions[b]))
-        # Linear decay from the main-link attenuation at zero distance to
-        # the overhearing level at the edge of the radio range.
-        span = max(radius, distance)
-        fraction = min(distance / span, 1.0)
-        attenuation = (
-            cond.mean_attenuation
-            - (cond.mean_attenuation - cond.overhear_attenuation) * fraction
-        )
+        attenuation = attenuation_for(distance)
         topology.add_symmetric_link(
             a,
             b,
@@ -199,6 +296,7 @@ GENERATORS: Dict[str, GeneratorFn] = {
     "chain": generate_chain,
     "star": generate_star,
     "random_mesh": generate_random_mesh,
+    "geometric_mesh": generate_geometric_mesh,
 }
 
 

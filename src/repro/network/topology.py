@@ -11,7 +11,7 @@ the chain are not connected).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -26,6 +26,10 @@ class Topology:
         """Create an empty topology (no nodes, no links)."""
         self._graph = nx.DiGraph()
         self._noise_power: Dict[int, float] = {}
+        #: Node placement ``{node_id: (x, y)}`` when the topology was
+        #: built from geometry (the mesh generators set it); ``None`` for
+        #: topologies with no physical placement (chain, star, figures).
+        self.positions: Optional[Dict[int, Tuple[float, float]]] = None
 
     # ------------------------------------------------------------------
     # Construction

@@ -14,8 +14,8 @@ next slot, and :class:`TriggerScheduler` draws their random start offsets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

@@ -17,7 +17,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.constants import DEFAULT_ANC_REDUNDANCY_OVERHEAD
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.framing.packet import Packet
 from repro.network.topology import Topology

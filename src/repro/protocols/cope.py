@@ -17,7 +17,7 @@ the paper's COPE numbers have essentially no residual BER.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

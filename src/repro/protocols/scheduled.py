@@ -19,7 +19,7 @@ executor reproduces the formerly hand-coded schedule exactly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ like ANC does, just never for interference.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

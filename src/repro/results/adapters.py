@@ -43,7 +43,15 @@ RUN_COLUMNS = (
 
 
 def config_snapshot(config: Any) -> Dict[str, Any]:
-    """JSON-ready snapshot of an experiment config (dataclass or mapping)."""
+    """JSON-ready snapshot of an experiment config (dataclass or mapping).
+
+    Configs that curate their own view (``ExperimentConfig.snapshot``
+    omits disabled impairments so pre-impairment fixtures stay stable)
+    are snapshotted through it.
+    """
+    snapshot = getattr(config, "snapshot", None)
+    if callable(snapshot):
+        return dict(snapshot())
     if is_dataclass(config) and not isinstance(config, type):
         return asdict(config)
     return dict(config)

@@ -15,7 +15,6 @@ from repro.anc.matching import match_phase_differences
 from repro.exceptions import ConfigurationError, DecodingError
 from repro.modulation.msk import MSKModulator, expected_phase_differences
 from repro.signal.batch import SignalBatch
-from repro.signal.samples import ComplexSignal
 
 
 def _collision_row(rng, known_bits, unknown_n_bits, known_offset, unknown_offset,

@@ -131,7 +131,6 @@ class TestBackwardEdgeCases:
         """Disjoint packets with the known one second: nothing to decode."""
         received, frame_a, frame_b, _ = _make_collision(seed=30)
         rng = np.random.default_rng(30)
-        framer = Framer()
         modulator = MSKModulator(amplitude=1.0)
         wave_a = modulator.modulate(frame_a.bits)
         wave_b = modulator.modulate(frame_b.bits)

@@ -1,7 +1,6 @@
 """Tests for the full receive pipeline (Fig. 8 / Algorithm 1)."""
 
 import numpy as np
-import pytest
 
 from repro.anc.pipeline import ReceiveOutcome, ReceivePipeline
 from repro.channel.interference import InterferenceCombiner

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.channel.interference import CollisionResult, InterferenceCombiner, OverlapModel
+from repro.channel.interference import InterferenceCombiner, OverlapModel
 from repro.channel.link import Link
 from repro.exceptions import ChannelError
 from repro.modulation.msk import MSKModulator

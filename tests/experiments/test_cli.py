@@ -86,7 +86,13 @@ class TestMain:
 class TestScenarioCommand:
     def test_all_scenarios_listed(self):
         parser = build_scenario_parser()
-        assert set(SCENARIO_NAMES) == {"chain_sweep", "mesh_sweep"}
+        assert set(SCENARIO_NAMES) == {
+            "chain_sweep",
+            "mesh_sweep",
+            "cfo_sweep",
+            "fading_sweep",
+            "geometry_mesh",
+        }
         for name in SCENARIO_NAMES:
             args = parser.parse_args([name, "--quick"])
             assert args.scenario == name

@@ -4,7 +4,6 @@ These use ``ExperimentConfig.quick()`` so the whole module runs in tens of
 seconds; the benchmark harness runs the full-size versions.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.alice_bob import run_alice_bob_experiment

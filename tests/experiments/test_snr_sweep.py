@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.snr_sweep import SNRPoint, render_snr_table, run_snr_sweep
+from repro.experiments.snr_sweep import render_snr_table, run_snr_sweep
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import FramingError
-from repro.framing.frame import Deframer, FrameLayout, Framer
+from repro.framing.frame import FrameLayout
 from repro.framing.header import Header
 from repro.framing.packet import Packet
 from repro.framing.pilot import PilotSequence

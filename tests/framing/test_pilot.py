@@ -1,7 +1,6 @@
 """Tests for pilot sequences and pilot search."""
 
 import numpy as np
-import pytest
 
 from repro.framing.pilot import PilotSequence, find_all_pilots, find_pilot
 from repro.utils.bits import random_bits

@@ -7,7 +7,6 @@ ANC > COPE > traditional, hidden-terminal immunity in the chain).
 """
 
 import numpy as np
-import pytest
 
 from repro.anc.pipeline import ReceiveOutcome
 from repro.channel.interference import OverlapModel

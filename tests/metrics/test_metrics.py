@@ -1,6 +1,5 @@
 """Tests for the evaluation metrics (BER, throughput, gains, reports)."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError

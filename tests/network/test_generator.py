@@ -3,11 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.channel.pathloss import PathLossModel
 from repro.exceptions import ConfigurationError
 from repro.network.generator import (
     GENERATORS,
     available_generators,
     generate_chain,
+    generate_geometric_mesh,
     generate_random_mesh,
     generate_star,
     get_generator,
@@ -19,7 +21,12 @@ CONDITIONS = ChannelConditions(snr_db=28.0)
 
 class TestRegistry:
     def test_all_generators_listed(self):
-        assert available_generators() == ["chain", "star", "random_mesh"]
+        assert available_generators() == [
+            "chain",
+            "star",
+            "random_mesh",
+            "geometric_mesh",
+        ]
 
     def test_lookup_by_name(self):
         for name in available_generators():
@@ -87,3 +94,72 @@ class TestRandomMesh:
             generate_random_mesh(CONDITIONS, np.random.default_rng(0), nodes=2)
         with pytest.raises(ConfigurationError):
             generate_random_mesh(CONDITIONS, np.random.default_rng(0), radius=0.0)
+
+
+class TestGeometricMesh:
+    def test_deterministic_given_seed(self):
+        first = generate_geometric_mesh(CONDITIONS, np.random.default_rng(7), nodes=10)
+        second = generate_geometric_mesh(CONDITIONS, np.random.default_rng(7), nodes=10)
+        assert sorted(first.graph.edges) == sorted(second.graph.edges)
+        for a, b in first.graph.edges:
+            assert first.link(a, b).attenuation == second.link(a, b).attenuation
+        assert first.positions == second.positions
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_always_connected(self, seed):
+        topo = generate_geometric_mesh(
+            CONDITIONS, np.random.default_rng(seed), nodes=10, radius=0.3
+        )
+        nodes = topo.nodes
+        for destination in nodes[1:]:
+            assert topo.shortest_path(nodes[0], destination)
+
+    def test_gain_follows_the_path_loss_law(self):
+        model = PathLossModel(
+            exponent=2.0,
+            reference_distance=0.2,
+            reference_attenuation=0.95,
+            min_attenuation=0.05,
+        )
+        conditions = ChannelConditions(snr_db=28.0, attenuation_jitter=0.0)
+        topo = generate_geometric_mesh(
+            conditions, np.random.default_rng(11), nodes=12, path_loss=model
+        )
+        for a, b in topo.graph.edges:
+            pos_a = np.asarray(topo.positions[a])
+            pos_b = np.asarray(topo.positions[b])
+            distance = float(np.linalg.norm(pos_a - pos_b))
+            expected = float(np.clip(model.attenuation(distance), 0.05, 1.5))
+            assert topo.link(a, b).attenuation == pytest.approx(expected)
+
+    def test_positions_cover_every_node(self):
+        topo = generate_geometric_mesh(CONDITIONS, np.random.default_rng(2), nodes=8)
+        assert sorted(topo.positions) == topo.nodes
+        for x, y in topo.positions.values():
+            assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+    def test_same_placement_as_random_mesh(self):
+        """Both mesh families share the placement draw, so a given seed
+        yields the same radio graph — only the gain law differs."""
+        random_mesh = generate_random_mesh(
+            CONDITIONS, np.random.default_rng(9), nodes=10
+        )
+        geometric = generate_geometric_mesh(
+            CONDITIONS, np.random.default_rng(9), nodes=10
+        )
+        assert sorted(random_mesh.graph.edges) == sorted(geometric.graph.edges)
+        assert random_mesh.positions == geometric.positions
+
+    def test_positions_declared_on_every_topology(self):
+        """`positions` is a declared Topology attribute: mesh families set
+        it, placement-free generators leave it None (no AttributeError)."""
+        assert generate_chain(CONDITIONS, np.random.default_rng(0)).positions is None
+        assert generate_star(CONDITIONS, np.random.default_rng(0)).positions is None
+        mesh = generate_random_mesh(CONDITIONS, np.random.default_rng(0), nodes=8)
+        assert sorted(mesh.positions) == mesh.nodes
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            generate_geometric_mesh(CONDITIONS, np.random.default_rng(0), nodes=2)
+        with pytest.raises(ConfigurationError):
+            generate_geometric_mesh(CONDITIONS, np.random.default_rng(0), radius=0.0)

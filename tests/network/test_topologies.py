@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError, TopologyError
+from repro.exceptions import ConfigurationError
 from repro.network.topologies import (
     ALICE,
     BOB,

@@ -1,6 +1,5 @@
 """Tests for the basic Node abstraction."""
 
-import numpy as np
 import pytest
 
 from repro.anc.pipeline import ReceiveOutcome

@@ -1,7 +1,6 @@
 """Tests for the PN XOR scrambler (§6.2)."""
 
 import numpy as np
-import pytest
 
 from repro.scrambler.whitening import Scrambler
 from repro.utils.bits import random_bits

@@ -7,8 +7,8 @@ Self-contained (stdlib only) so it runs identically in CI and offline:
   file or directory that exists in the repo;
 * every public module, class, function and method in the documented
   packages (``repro.experiments``, ``repro.network``, ``repro.mac``,
-  ``repro.node``) must carry a docstring (a lightweight, dependency-free
-  subset of ``pydocstyle``).
+  ``repro.node``, ``repro.results``, ``repro.channel``) must carry a
+  docstring (a lightweight, dependency-free subset of ``pydocstyle``).
 
 Exit code 0 when clean; 1 with one line per finding otherwise.
 
@@ -35,6 +35,7 @@ DOCSTRING_PACKAGES = (
     "src/repro/mac",
     "src/repro/node",
     "src/repro/results",
+    "src/repro/channel",
 )
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

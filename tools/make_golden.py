@@ -14,11 +14,15 @@ reproduced numbers::
     PYTHONPATH=src python tools/make_golden.py
 
 and commit the updated JSON files together with the change that justifies
-them.
+them.  ``--output-dir DIR`` writes the fixtures somewhere else instead —
+CI's golden-drift job regenerates into a temporary directory and diffs it
+against ``tests/golden/``, so fixture regeneration can never silently
+diverge from what is committed.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -70,9 +74,27 @@ def normalized_result_dict(result) -> dict:
     return payload
 
 
-def main() -> int:
+def _describe(path: Path) -> str:
+    """The path as printed: repo-relative when inside the repo."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def main(argv=None) -> int:
     """Write one JSON fixture per golden experiment."""
-    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=GOLDEN_DIR,
+        help="directory to write the fixtures into (default: tests/golden/; "
+        "CI's golden-drift job points this at a temp dir and diffs)",
+    )
+    args = parser.parse_args(argv)
+    output_dir = args.output_dir
+    output_dir.mkdir(parents=True, exist_ok=True)
     config = golden_config()
     for name, runner in GOLDEN_EXPERIMENTS.items():
         report = runner(config)
@@ -81,18 +103,18 @@ def main() -> int:
             "config": GOLDEN_CONFIG_FIELDS,
             "render": report.render(),
         }
-        path = GOLDEN_DIR / f"{name}.json"
+        path = output_dir / f"{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        print(f"wrote {path.relative_to(REPO_ROOT)}")
+        print(f"wrote {_describe(path)}")
 
     from repro import api  # noqa: E402  (after sys.path setup)
 
     result = api.run(RESULT_FIXTURE_EXPERIMENT, config=config)
-    path = GOLDEN_DIR / RESULT_FIXTURE_NAME
+    path = output_dir / RESULT_FIXTURE_NAME
     path.write_text(
         json.dumps(normalized_result_dict(result), indent=2, sort_keys=True) + "\n"
     )
-    print(f"wrote {path.relative_to(REPO_ROOT)}")
+    print(f"wrote {_describe(path)}")
     return 0
 
 

@@ -31,7 +31,7 @@ the two under channel-estimation error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -41,13 +41,9 @@ from repro.anc.amplitude import (
     mean_energy,
     sigma_statistic,
 )
-from repro.anc.batch import (
-    batch_differential_bits,
-    batch_match_phase_differences,
-    batch_phase_solutions,
-)
 from repro.anc.lemma import phase_solutions
 from repro.anc.matching import match_phase_differences
+from repro.backend import Backend, resolve_backend
 from repro.exceptions import DecodingError
 from repro.modulation.batch import batch_expected_phase_differences
 from repro.modulation.msk import expected_phase_differences
@@ -111,10 +107,29 @@ class DecodeDiagnostics:
 
 
 class InterferenceDecoder:
-    """Decode the unknown half of a two-packet collision."""
+    """Decode the unknown half of a two-packet collision.
 
-    def __init__(self, config: Optional[DecoderConfig] = None) -> None:
+    Parameters
+    ----------
+    config:
+        Decoder tunables (:class:`DecoderConfig`); defaults apply when
+        omitted.
+    backend:
+        Compute backend for the batched kernels — a registry name, an
+        already-resolved :class:`~repro.backend.Backend`, or ``None`` to
+        resolve the ambient backend (:func:`repro.backend.use_backend`
+        scope, else ``numpy``) at each :meth:`decode_batch` call.  The
+        scalar :meth:`decode` path is the fixed reference implementation
+        and never changes with the backend.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DecoderConfig] = None,
+        backend: Union[None, str, Backend] = None,
+    ) -> None:
         self.config = config if config is not None else DecoderConfig()
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # Public API
@@ -217,6 +232,7 @@ class InterferenceDecoder:
             raise DecodingError("unknown_n_bits must be positive")
         known_offset_arr = self._offset_column(known_offsets, n_trials, "known_offsets")
         unknown_offset_arr = self._offset_column(unknown_offsets, n_trials, "unknown_offsets")
+        backend = resolve_backend(self.backend)
 
         bits = np.zeros((n_trials, unknown_n_bits), dtype=np.uint8)
         diagnostics: List[Optional[DecodeDiagnostics]] = [None] * n_trials
@@ -227,11 +243,21 @@ class InterferenceDecoder:
             )
             if known_offset <= unknown_offset:
                 group_bits, group_diagnostics = self._decode_forward_batch(
-                    samples[group], known[group], known_offset, unknown_offset, unknown_n_bits
+                    samples[group],
+                    known[group],
+                    known_offset,
+                    unknown_offset,
+                    unknown_n_bits,
+                    backend=backend,
                 )
             else:
                 group_bits, group_diagnostics = self._decode_backward_batch(
-                    samples[group], known[group], known_offset, unknown_offset, unknown_n_bits
+                    samples[group],
+                    known[group],
+                    known_offset,
+                    unknown_offset,
+                    unknown_n_bits,
+                    backend=backend,
                 )
             bits[group] = group_bits
             for position, trial in enumerate(group):
@@ -366,6 +392,7 @@ class InterferenceDecoder:
         unknown_offset: int,
         unknown_n_bits: int,
         reversed_decode: bool = False,
+        backend: Optional[Backend] = None,
     ) -> Tuple[np.ndarray, List[DecodeDiagnostics]]:
         """Vectorized :meth:`_decode_forward` over trials sharing a geometry.
 
@@ -373,10 +400,13 @@ class InterferenceDecoder:
         ``known_bits`` its ``(n_trials, n_known_bits)`` rows.  The
         interval partition is geometry-only, so every trial shares the
         same interfered/clean runs; each run is decoded for all trials in
-        one batched kernel call.  Amplitudes come from the scalar
-        estimator per trial, which keeps them bit-identical by
-        construction.
+        one batched kernel call through ``backend`` (the resolved compute
+        backend; ``None`` resolves the ambient one).  Amplitudes come
+        from the scalar estimator per trial, which keeps them
+        bit-identical by construction whatever the backend.
         """
+        if backend is None:
+            backend = resolve_backend(self.backend)
         n_trials = samples.shape[0]
         known_n_samples = known_bits.shape[1] + 1
         known_end = known_offset + known_n_samples
@@ -418,14 +448,14 @@ class InterferenceDecoder:
             if interval_interfered[i]:
                 known_indices = np.arange(first_sample, last_sample) - known_offset
                 known_diffs = known_diffs_full[:, known_indices]
-                solutions = batch_phase_solutions(block, amplitudes_a, amplitudes_b)
-                result = batch_match_phase_differences(solutions, known_diffs)
+                solutions = backend.phase_solutions(block, amplitudes_a, amplitudes_b)
+                result = backend.match_phase_differences(solutions, known_diffs)
                 bits[:, i:j] = result.bits
                 match_errors.append(result.match_errors)
                 for diagnostic in diagnostics:
                     diagnostic.interfered_bits += j - i
             else:
-                bits[:, i:j] = batch_differential_bits(block)
+                bits[:, i:j] = backend.differential_bits(block)
                 for diagnostic in diagnostics:
                     diagnostic.clean_bits += j - i
             i = j
@@ -445,12 +475,13 @@ class InterferenceDecoder:
         known_offset: int,
         unknown_offset: int,
         unknown_n_bits: int,
+        backend: Optional[Backend] = None,
     ) -> Tuple[np.ndarray, List[DecodeDiagnostics]]:
         """Vectorized §7.4 backward decoding for one geometry group.
 
         Identical transformation to the scalar :meth:`_decode_backward` —
         reverse time, flip the known bits, decode forward, un-reverse —
-        applied to the whole trial block at once.
+        applied to the whole trial block at once, through ``backend``.
         """
         total = samples.shape[1]
         known_n_samples = known_bits.shape[1] + 1
@@ -473,6 +504,7 @@ class InterferenceDecoder:
             rev_unknown_offset,
             unknown_n_bits,
             reversed_decode=True,
+            backend=backend,
         )
         forward_bits = (1 - rev_bits[:, ::-1]).astype(np.uint8)
         return forward_bits, diagnostics

@@ -1,0 +1,268 @@
+"""Pluggable compute backends for the batched PHY kernels.
+
+The batched PHY (:mod:`repro.anc.batch`, :mod:`repro.modulation.batch`)
+is a set of clean 2D array programs over ``(n_trials, n_samples)``
+blocks.  This package makes the *implementation* of those kernels
+pluggable without ever touching their contract:
+
+``numpy``
+    The default.  Exactly the kernels the library has always run —
+    **bit-identical** to the scalar reference path (the differential
+    suite's strongest claim).
+``numba``
+    Optional JIT-compiled decode kernels.  When :mod:`numba` is not
+    installed the backend degrades to the numpy kernels with a one-time
+    :class:`~repro.backend.numba_backend.NumbaFallbackWarning` —
+    importing this package never imports numba, so the default
+    environment stays dependency-free.
+``float32-fast``
+    Reduced-precision (complex64/float32) kernels.  Faster on
+    bandwidth-bound batches, but **not** bit-identical: the backend
+    carries explicit accuracy-gate metadata (maximum BER deviation vs
+    the ``numpy`` backend, asserted by ``tests/backend``) and
+    :func:`get_backend` *refuses* to hand it out if that metadata is
+    missing — reduced precision without a measured bound is a bug, not
+    a feature.
+
+Digest neutrality
+-----------------
+A backend that the differential suite proves equivalent to the scalar
+reference (``numpy``, ``numba``) is **digest-neutral**: like
+``batch_size``, it is an execution knob that cannot change results, so
+:meth:`~repro.experiments.engine.ExperimentEngine.task_digest` keeps it
+out of the cache digest and caches survive switching it.
+``float32-fast`` is *not* digest-neutral — its results live inside an
+accuracy gate, not on it — so it forks the digest.
+
+Selection
+---------
+Backends resolve in three ways, most specific first:
+
+1. explicitly, per object: ``InterferenceDecoder(backend="numba")``;
+2. ambiently, per scope: ``with use_backend("numba"): ...`` (the
+   experiment engine wraps every trial block in the config's backend);
+3. the process default, ``numpy``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import BackendError
+
+__all__ = [
+    "Backend",
+    "DEFAULT_BACKEND",
+    "active_backend_name",
+    "available_backends",
+    "get_backend",
+    "is_digest_neutral",
+    "register_backend",
+    "resolve_backend",
+    "use_backend",
+]
+
+#: The always-available reference backend every installation has.
+DEFAULT_BACKEND = "numpy"
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One pluggable implementation of the batched PHY kernels.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"numba"``, ``"float32-fast"``).
+    description:
+        One-line human description (shown in CLI help and docs).
+    digest_neutral:
+        ``True`` when the differential suite certifies this backend's
+        decode output equal to the scalar reference, which licenses the
+        engine to keep it out of cache digests (see the module
+        docstring).
+    accuracy_gate:
+        ``None`` for exact backends.  Non-exact backends **must** carry
+        a mapping with at least ``max_ber_deviation`` (the asserted
+        maximum BER deviation vs the ``numpy`` backend) and
+        ``reference`` — :func:`get_backend` refuses a non-neutral
+        backend whose gate metadata is missing or incomplete.
+    fallback_of:
+        Set when this backend object is a degraded stand-in (e.g. the
+        ``numba`` entry running numpy kernels because numba is absent);
+        names the backend whose kernels actually run.
+    phase_solutions:
+        Batched Lemma 6.1 kernel — signature of
+        :func:`repro.anc.batch.batch_phase_solutions`.
+    match_phase_differences:
+        Batched Eq. 7-8 matching kernel — signature of
+        :func:`repro.anc.batch.batch_match_phase_differences`.
+    differential_bits:
+        Clean-interval differential slicing kernel — signature of
+        :func:`repro.anc.batch.batch_differential_bits`.
+    modulate_waveform:
+        ``(phases, amplitude) -> samples``: turn per-sample phases into
+        the complex MSK waveform batch.
+    demodulate_phase_differences:
+        ``(samples) -> angles``: wrapped phase differences of every row
+        (the Eq. 1 conjugate-product demodulator, after symbol
+        striding).
+    """
+
+    name: str
+    description: str
+    digest_neutral: bool
+    phase_solutions: Callable[..., Any]
+    match_phase_differences: Callable[..., Any]
+    differential_bits: Callable[[np.ndarray], np.ndarray]
+    modulate_waveform: Callable[[np.ndarray, float], np.ndarray]
+    demodulate_phase_differences: Callable[[np.ndarray], np.ndarray]
+    accuracy_gate: Optional[Mapping[str, Any]] = None
+    fallback_of: Optional[str] = None
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+
+#: Lazily-built registry: name -> factory producing the Backend once.
+_FACTORIES: Dict[str, Callable[[], Backend]] = {}
+
+#: Materialized backends (built on first :func:`get_backend`).
+_BACKENDS: Dict[str, Backend] = {}
+
+#: Per-thread ambient backend stack (:func:`use_backend`).
+_ACTIVE = threading.local()
+
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory runs at most once, on the first :func:`get_backend`
+    call — which is what keeps optional dependencies (numba) out of the
+    import path of this package.
+    """
+    with _REGISTRY_LOCK:
+        if name in _FACTORIES:
+            raise BackendError(f"backend {name!r} is already registered")
+        _FACTORIES[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Names of every registered backend (no optional imports happen)."""
+    return sorted(_FACTORIES)
+
+
+def _validate(backend: Backend) -> Backend:
+    """Refuse misdeclared backends before they reach any caller.
+
+    The accuracy-gate rule: a backend that is not digest-neutral is by
+    definition allowed to deviate from the reference, and such deviation
+    is only acceptable under an explicit, tested bound.  No metadata, no
+    backend.
+    """
+    if not backend.digest_neutral:
+        gate = backend.accuracy_gate
+        if not isinstance(gate, Mapping) or "max_ber_deviation" not in gate:
+            raise BackendError(
+                f"backend {backend.name!r} is not digest-neutral but carries no "
+                "accuracy-gate metadata (a 'max_ber_deviation' bound vs the "
+                "reference); refusing to run unbounded reduced-precision kernels"
+            )
+        if not 0.0 <= float(gate["max_ber_deviation"]) < 1.0:
+            raise BackendError(
+                f"backend {backend.name!r} declares an invalid "
+                f"max_ber_deviation of {gate['max_ber_deviation']!r}"
+            )
+    return backend
+
+
+def get_backend(name: Optional[str] = None) -> Backend:
+    """Resolve a backend by name (``None`` means the ambient/default one).
+
+    Raises
+    ------
+    BackendError
+        For unknown names, or for a non-exact backend whose accuracy-gate
+        metadata is missing (see :func:`_validate`).
+    """
+    if name is None:
+        name = active_backend_name()
+    if name not in _FACTORIES:
+        raise BackendError(
+            f"unknown compute backend {name!r}; choose from {', '.join(available_backends())}"
+        )
+    with _REGISTRY_LOCK:
+        backend = _BACKENDS.get(name)
+        if backend is None:
+            backend = _FACTORIES[name]()
+            _BACKENDS[name] = backend
+    return _validate(backend)
+
+
+def resolve_backend(backend: Union[None, str, Backend]) -> Backend:
+    """Accept ``None`` (ambient), a name, or an already-resolved Backend."""
+    if isinstance(backend, Backend):
+        return _validate(backend)
+    return get_backend(backend)
+
+
+def is_digest_neutral(name: str) -> bool:
+    """Whether the named backend may be omitted from cache digests."""
+    return get_backend(name).digest_neutral
+
+
+def active_backend_name() -> str:
+    """The name :func:`get_backend` resolves ``None`` to in this thread."""
+    stack = getattr(_ACTIVE, "stack", None)
+    return stack[-1] if stack else DEFAULT_BACKEND
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[Backend]:
+    """Make ``name`` the ambient backend for the ``with`` scope.
+
+    The experiment engine wraps every trial block in the config's
+    backend through this, so worker processes resolve the same kernels
+    the driving process would.  Nesting is allowed; scopes restore on
+    exit even when the body raises.
+    """
+    backend = get_backend(name)  # validate before entering the scope
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        stack = _ACTIVE.stack = []
+    stack.append(backend.name)
+    try:
+        yield backend
+    finally:
+        stack.pop()
+
+
+def _register_builtin_backends() -> None:
+    """Register the three built-in factories (imports stay lazy inside)."""
+
+    def _numpy_factory() -> Backend:
+        from repro.backend.numpy_backend import make_numpy_backend
+
+        return make_numpy_backend()
+
+    def _numba_factory() -> Backend:
+        from repro.backend.numba_backend import make_numba_backend
+
+        return make_numba_backend()
+
+    def _float32_factory() -> Backend:
+        from repro.backend.float32_fast import make_float32_fast_backend
+
+        return make_float32_fast_backend()
+
+    register_backend("numpy", _numpy_factory)
+    register_backend("numba", _numba_factory)
+    register_backend("float32-fast", _float32_factory)
+
+
+_register_builtin_backends()

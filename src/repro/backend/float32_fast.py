@@ -1,0 +1,177 @@
+"""The ``float32-fast`` compute backend — reduced-precision PHY kernels.
+
+Every kernel mirrors the reference implementation structurally but runs
+in ``complex64``/``float32``.  Halving the element width halves memory
+traffic, which is where large ``(n_trials, n_samples)`` batches spend
+their time, at the cost of ~7 decimal digits of precision — enough to
+move decoded bits on samples that sit close to a decision boundary.
+
+Because the output is *not* bit-identical to the scalar reference, this
+backend is **not digest-neutral** (selecting it forks the experiment
+cache digest) and it must carry accuracy-gate metadata: the registry
+refuses to hand out a reduced-precision backend without a declared,
+tested ``max_ber_deviation`` bound (see
+:func:`repro.backend.get_backend`).  The bound itself is asserted
+against the ``numpy`` backend on a synthetic collision ensemble by
+``tests/backend/test_backend.py`` and on hypothesis-generated collisions
+by ``tests/properties/test_batch_equivalence.py``.
+
+Containers stay ``complex128``: :class:`~repro.signal.SignalBatch` keeps
+its dtype contract, and kernels cast on entry.  The cast is a copy, so
+the win is in the kernel arithmetic and intermediates, not end-to-end
+storage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anc.batch import (
+    BatchMatchResult,
+    BatchPhaseSolutions,
+    _amplitude_products,
+)
+from repro.backend import Backend
+from repro.exceptions import DecodingError
+
+#: float32 twins of the wrap constants in :mod:`repro.anc.batch`.
+_PI_32 = np.float32(np.pi)
+_TWO_PI_32 = np.float32(2.0 * np.pi)
+_MINUS_PI_TOLERANCE_32 = np.float32(1e-8 + 1e-5 * np.pi)
+_J_32 = np.complex64(1j)
+
+#: Declared accuracy gate, asserted by the backend test-suite: decoded
+#: bits may differ from the ``numpy`` reference on at most this fraction
+#: of bits over the certification ensembles.  Measured headroom is large
+#: (observed deviation is typically < 1e-3, concentrated on samples that
+#: land within float32 epsilon of the Eq. 8 decision boundary).
+MAX_BER_DEVIATION = 5e-3
+
+ACCURACY_GATE = {
+    "reference": "numpy",
+    "max_ber_deviation": MAX_BER_DEVIATION,
+    "certified_by": [
+        "tests/backend/test_backend.py",
+        "tests/properties/test_batch_equivalence.py",
+    ],
+}
+
+
+def _wrap_angle_fast_32(angle: np.ndarray) -> np.ndarray:
+    """float32 twin of :func:`repro.anc.batch._wrap_angle_fast`.
+
+    Same precondition (inputs in ``(-2*pi, 2*pi]``) and the same
+    conditional ``+/- 2*pi`` reduction, evaluated in float32.
+    """
+    wrapped = angle + _PI_32
+    negative = wrapped < 0
+    overflow = wrapped >= _TWO_PI_32
+    np.add(wrapped, _TWO_PI_32, out=wrapped, where=negative)
+    np.subtract(wrapped, _TWO_PI_32, out=wrapped, where=overflow)
+    wrapped -= _PI_32
+    np.copyto(wrapped, _PI_32, where=np.abs(wrapped + _PI_32) <= _MINUS_PI_TOLERANCE_32)
+    return wrapped
+
+
+def phase_solutions(samples, amplitudes_a, amplitudes_b) -> BatchPhaseSolutions:
+    """float32 Lemma 6.1 kernel (API of ``batch_phase_solutions``)."""
+    a64, b64, a_sq64, b_sq64, two_ab64 = _amplitude_products(amplitudes_a, amplitudes_b)
+    a = a64.astype(np.float32)
+    b = b64.astype(np.float32)
+    a_sq = a_sq64.astype(np.float32)
+    b_sq = b_sq64.astype(np.float32)
+    two_ab = two_ab64.astype(np.float32)
+    y = np.ascontiguousarray(np.asarray(samples), dtype=np.complex64)
+    if y.shape[1] == 0:
+        empty = np.zeros(y.shape, dtype=np.float32)
+        return BatchPhaseSolutions(empty, empty, empty, empty, empty)
+    magnitude_sq = np.abs(y) ** 2
+    cosine = np.clip((magnitude_sq - a_sq - b_sq) / two_ab, np.float32(-1.0), np.float32(1.0))
+    sine = np.sqrt(np.maximum(np.float32(1.0) - cosine ** 2, np.float32(0.0)))
+    theta1 = np.angle(y * (a + b * cosine - _J_32 * b * sine))
+    phi1 = np.angle(y * (b + a * cosine + _J_32 * a * sine))
+    theta2 = np.angle(y * (a + b * cosine + _J_32 * b * sine))
+    phi2 = np.angle(y * (b + a * cosine - _J_32 * a * sine))
+    return BatchPhaseSolutions(theta1=theta1, phi1=phi1, theta2=theta2, phi2=phi2, cosine=cosine)
+
+
+def match_phase_differences(solutions, known_differences) -> BatchMatchResult:
+    """float32 Eq. 7-8 matching kernel (API of ``batch_match_phase_differences``)."""
+    known = np.asarray(known_differences, dtype=np.float32)
+    n_samples = solutions.n_samples
+    if n_samples < 2:
+        raise DecodingError("at least two samples are required to form phase differences")
+    n_intervals = n_samples - 1
+    if known.shape != (solutions.n_trials, n_intervals):
+        raise DecodingError(
+            f"known_differences has shape {known.shape} but the batch has "
+            f"{solutions.n_trials} trials of {n_intervals} sample intervals"
+        )
+
+    theta = np.stack([solutions.theta1, solutions.theta2]).astype(np.float32, copy=False)
+    phi = np.stack([solutions.phi1, solutions.phi2]).astype(np.float32, copy=False)
+
+    delta_theta = _wrap_angle_fast_32(theta[:, None, :, 1:] - theta[None, :, :, :-1])
+    raw_delta_phi = phi[:, None, :, 1:] - phi[None, :, :, :-1]
+
+    raw_errors = delta_theta - known[None, None, :, :]
+    known_wrapped = known.size == 0 or float(np.max(np.abs(known))) <= float(_PI_32)
+    if not known_wrapped:
+        # Fold out-of-range targets into the fast wrap's domain first;
+        # the decoder never takes this branch (its targets are +/- pi/2).
+        raw_errors = np.remainder(raw_errors + _PI_32, _TWO_PI_32) - _PI_32
+    errors = np.abs(_wrap_angle_fast_32(raw_errors))
+    flat_errors = errors.reshape(4, solutions.n_trials, n_intervals)
+    best = np.argmin(flat_errors, axis=0)
+
+    flat_delta_phi = raw_delta_phi.reshape(4, solutions.n_trials, n_intervals)
+    flat_delta_theta = delta_theta.reshape(4, solutions.n_trials, n_intervals)
+    selector = best[None, :, :]
+    selected_phi = _wrap_angle_fast_32(np.take_along_axis(flat_delta_phi, selector, axis=0)[0])
+    selected_theta = np.take_along_axis(flat_delta_theta, selector, axis=0)[0]
+    selected_errors = np.take_along_axis(flat_errors, selector, axis=0)[0]
+
+    bits = (selected_phi >= 0).astype(np.uint8)
+    return BatchMatchResult(
+        unknown_differences=selected_phi,
+        known_differences_selected=selected_theta,
+        match_errors=selected_errors,
+        bits=bits,
+    )
+
+
+def differential_bits(blocks: np.ndarray) -> np.ndarray:
+    """float32 clean-interval differential slicer (API of ``batch_differential_bits``)."""
+    y = np.asarray(blocks, dtype=np.complex64)
+    ratio = y[:, 1:] * np.conj(y[:, :-1])
+    return (np.angle(ratio) >= 0).astype(np.uint8)
+
+
+def modulate_waveform(phases: np.ndarray, amplitude: float) -> np.ndarray:
+    """float32 MSK waveform synthesis (complex64 output)."""
+    return np.complex64(amplitude) * np.exp(_J_32 * np.asarray(phases, dtype=np.float32))
+
+
+def demodulate_phase_differences(samples: np.ndarray) -> np.ndarray:
+    """float32 Eq. 1 conjugate-product demodulator (float32 angles)."""
+    y = np.asarray(samples, dtype=np.complex64)
+    if y.shape[1] < 2:
+        return np.zeros((y.shape[0], 0), dtype=np.float32)
+    ratio = y[:, 1:] * np.conj(y[:, :-1])
+    return np.angle(ratio)
+
+
+def make_float32_fast_backend() -> Backend:
+    """Build the reduced-precision backend with its accuracy gate attached."""
+    return Backend(
+        name="float32-fast",
+        description="reduced-precision complex64/float32 kernels "
+        f"(accuracy-gated: BER deviation <= {MAX_BER_DEVIATION:g} vs numpy)",
+        digest_neutral=False,
+        phase_solutions=phase_solutions,
+        match_phase_differences=match_phase_differences,
+        differential_bits=differential_bits,
+        modulate_waveform=modulate_waveform,
+        demodulate_phase_differences=demodulate_phase_differences,
+        accuracy_gate=ACCURACY_GATE,
+    )

@@ -1,0 +1,312 @@
+"""The ``numba`` compute backend — JIT-compiled batched decode kernels.
+
+Importing this module never imports :mod:`numba`;
+:func:`make_numba_backend` attempts the import on first use and, when
+numba is absent, degrades to the numpy reference kernels after emitting
+a one-time :class:`NumbaFallbackWarning`.  That keeps the backend
+registry safe to expose in dependency-free environments (CI's default
+job, the packaged wheel) while letting an optional-deps install pick up
+the JIT path with no code change.
+
+Bit-exactness discipline
+------------------------
+The backend is registered **digest-neutral**, so its decode output must
+match the scalar reference.  The JIT kernels therefore only fuse
+operations whose IEEE-754 results are *exactly specified* — add,
+subtract, multiply, divide, square root, comparisons and absolute value
+— evaluated in the reference kernels' exact expression order.  The two
+operations whose last-ULP rounding is library-specific stay in numpy:
+
+* ``np.angle`` / ``arctan2`` (numpy ships SIMD implementations that may
+  round differently from a scalar libm ``atan2``), so the Lemma 6.1
+  kernel JITs the candidate *products* and hands them back for one
+  vectorized ``np.angle`` pass;
+* ``|y|`` for complex ``y`` (``hypot``-style, not exactly rounded), so
+  the squared magnitudes are precomputed with numpy and passed in.
+
+The per-backend differential suite
+(``tests/properties/test_batch_equivalence.py``) asserts decoded bits
+and structural diagnostics equal to the scalar reference; the matching
+kernel's error *values* follow the same exactly-rounded arithmetic, with
+the caveat documented on :func:`_jit_match` for NaN inputs.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.anc.batch import (
+    BatchMatchResult,
+    BatchPhaseSolutions,
+    _amplitude_products,
+    _MINUS_PI_TOLERANCE,
+    batch_differential_bits,
+    batch_match_phase_differences,
+    batch_phase_solutions,
+)
+from repro.backend import Backend
+from repro.backend.numpy_backend import (
+    demodulate_phase_differences,
+    modulate_waveform,
+)
+from repro.exceptions import DecodingError
+from repro.utils.angles import TWO_PI
+
+
+class NumbaFallbackWarning(RuntimeWarning):
+    """Warned once when the numba backend degrades to the numpy kernels."""
+
+
+#: One-time guard for the fallback warning.
+_FALLBACK_WARNED = False
+
+#: Compiled kernels, built once per process on first real-numba use.
+_JIT_KERNELS: Optional[Dict[str, Any]] = None
+
+
+def _import_numba():
+    """Return the numba module, or ``None`` when it is not installed."""
+    try:
+        import numba  # noqa: PLC0415 - deliberate lazy optional import
+    except ImportError:
+        return None
+    return numba
+
+
+def _warn_fallback_once() -> None:
+    """Emit the one-time degradation warning."""
+    global _FALLBACK_WARNED
+    if not _FALLBACK_WARNED:
+        _FALLBACK_WARNED = True
+        warnings.warn(
+            "numba is not installed; the 'numba' compute backend is running "
+            "the numpy reference kernels instead (install numba to enable "
+            "the JIT decode path)",
+            NumbaFallbackWarning,
+            stacklevel=3,
+        )
+
+
+def _build_jit_kernels(numba) -> Dict[str, Any]:
+    """Compile the JIT kernels (once per process).
+
+    Defined inside a function so the module can be imported without
+    numba; every ``@njit`` decoration happens only when numba exists.
+    """
+    njit = numba.njit
+    two_pi = float(TWO_PI)
+    pi = float(np.pi)
+    minus_pi_tol = float(_MINUS_PI_TOLERANCE)
+
+    @njit(cache=False)
+    def _wrap_fast(angle: float) -> float:
+        # Scalarized repro.anc.batch._wrap_angle_fast: same precondition
+        # (input in (-2*pi, 2*pi]), same exactly-rounded operations in
+        # the same order, including the isclose(-pi) snap.
+        wrapped = angle + pi
+        if wrapped < 0.0:
+            wrapped += two_pi
+        elif wrapped >= two_pi:
+            wrapped -= two_pi
+        wrapped -= pi
+        if abs(wrapped + pi) <= minus_pi_tol:
+            wrapped = pi
+        return wrapped
+
+    @njit(cache=False)
+    def _jit_solution_products(samples, magnitude_sq, a, b, a_sq, b_sq, two_ab):
+        """Cosine plus the four Lemma 6.1 candidate products, fused.
+
+        Emits ``y * (a + b*cos -/+ 1j*b*sin)`` and the phi twins exactly
+        as numpy evaluates them (real/imaginary parts written out), so a
+        single ``np.angle`` pass outside reproduces the reference
+        solutions.  Only exactly-rounded operations appear here.
+        """
+        n_trials, n_samples = samples.shape
+        cosine = np.empty((n_trials, n_samples), dtype=np.float64)
+        p_theta1 = np.empty((n_trials, n_samples), dtype=np.complex128)
+        p_phi1 = np.empty((n_trials, n_samples), dtype=np.complex128)
+        p_theta2 = np.empty((n_trials, n_samples), dtype=np.complex128)
+        p_phi2 = np.empty((n_trials, n_samples), dtype=np.complex128)
+        for t in range(n_trials):
+            at = a[t]
+            bt = b[t]
+            for n in range(n_samples):
+                c = (magnitude_sq[t, n] - a_sq[t] - b_sq[t]) / two_ab[t]
+                if c < -1.0:
+                    c = -1.0
+                elif c > 1.0:
+                    c = 1.0
+                s = np.sqrt(max(1.0 - c * c, 0.0))
+                cosine[t, n] = c
+                y = samples[t, n]
+                yr = y.real
+                yi = y.imag
+                # w = a + b*c -/+ 1j*b*s  (theta branches)
+                wr = at + bt * c
+                wi = bt * s
+                p_theta1[t, n] = complex(yr * wr - yi * (-wi), yr * (-wi) + yi * wr)
+                p_theta2[t, n] = complex(yr * wr - yi * wi, yr * wi + yi * wr)
+                # w = b + a*c +/- 1j*a*s  (phi branches)
+                wr = bt + at * c
+                wi = at * s
+                p_phi1[t, n] = complex(yr * wr - yi * wi, yr * wi + yi * wr)
+                p_phi2[t, n] = complex(yr * wr - yi * (-wi), yr * (-wi) + yi * wr)
+        return cosine, p_theta1, p_phi1, p_theta2, p_phi2
+
+    @njit(cache=False)
+    def _jit_match(theta1, theta2, phi1, phi2, known):
+        """Fused Eq. 7-8 matching: candidates, errors, argmin, slicing.
+
+        Candidate enumeration order and the strict ``<`` comparison
+        reproduce ``np.argmin``'s first-wins tie-break over the
+        reference's ``reshape(4, ...)`` layout (index ``x * 2 + y``).
+        One documented divergence: with NaN inputs ``np.argmin`` selects
+        the first NaN candidate while this loop never selects NaN —
+        unreachable from the decoder, whose inputs are finite angles.
+        """
+        n_trials, n_intervals = known.shape
+        selected_phi = np.empty((n_trials, n_intervals), dtype=np.float64)
+        selected_theta = np.empty((n_trials, n_intervals), dtype=np.float64)
+        selected_errors = np.empty((n_trials, n_intervals), dtype=np.float64)
+        bits = np.empty((n_trials, n_intervals), dtype=np.uint8)
+        for t in range(n_trials):
+            for n in range(n_intervals):
+                target = known[t, n]
+                best_index = 0
+                best_error = np.inf
+                best_theta = 0.0
+                for index in range(4):
+                    x = index >> 1
+                    y = index & 1
+                    later = theta1[t, n + 1] if x == 0 else theta2[t, n + 1]
+                    earlier = theta1[t, n] if y == 0 else theta2[t, n]
+                    delta_theta = _wrap_fast(later - earlier)
+                    error = abs(_wrap_fast(delta_theta - target))
+                    if error < best_error:
+                        best_error = error
+                        best_index = index
+                        best_theta = delta_theta
+                x = best_index >> 1
+                y = best_index & 1
+                later = phi1[t, n + 1] if x == 0 else phi2[t, n + 1]
+                earlier = phi1[t, n] if y == 0 else phi2[t, n]
+                delta_phi = _wrap_fast(later - earlier)
+                selected_phi[t, n] = delta_phi
+                selected_theta[t, n] = best_theta
+                selected_errors[t, n] = best_error
+                bits[t, n] = 1 if delta_phi >= 0.0 else 0
+        return selected_phi, selected_theta, selected_errors, bits
+
+    return {
+        "solution_products": _jit_solution_products,
+        "match": _jit_match,
+    }
+
+
+def _jit_phase_solutions(samples, amplitudes_a, amplitudes_b) -> BatchPhaseSolutions:
+    """Numba-accelerated :func:`repro.anc.batch.batch_phase_solutions`."""
+    a_col, b_col, a_sq, b_sq, two_ab = _amplitude_products(amplitudes_a, amplitudes_b)
+    y = np.ascontiguousarray(np.asarray(samples, dtype=np.complex128))
+    if y.shape[1] == 0:
+        empty = np.zeros(y.shape, dtype=float)
+        return BatchPhaseSolutions(empty, empty, empty, empty, empty)
+    magnitude_sq = np.abs(y) ** 2  # numpy cabs: not exactly rounded, keep it
+    kernels = _JIT_KERNELS
+    assert kernels is not None
+    cosine, p_theta1, p_phi1, p_theta2, p_phi2 = kernels["solution_products"](
+        y,
+        magnitude_sq,
+        a_col[:, 0],
+        b_col[:, 0],
+        a_sq[:, 0],
+        b_sq[:, 0],
+        two_ab[:, 0],
+    )
+    # One vectorized arctan2 pass, shared with the numpy backend, so the
+    # two backends cannot diverge on angle rounding.
+    return BatchPhaseSolutions(
+        theta1=np.angle(p_theta1),
+        phi1=np.angle(p_phi1),
+        theta2=np.angle(p_theta2),
+        phi2=np.angle(p_phi2),
+        cosine=cosine,
+    )
+
+
+def _jit_match_phase_differences(solutions, known_differences) -> BatchMatchResult:
+    """Numba-accelerated :func:`repro.anc.batch.batch_match_phase_differences`."""
+    known = np.ascontiguousarray(np.asarray(known_differences, dtype=float))
+    n_samples = solutions.n_samples
+    if n_samples < 2:
+        raise DecodingError("at least two samples are required to form phase differences")
+    n_intervals = n_samples - 1
+    if known.shape != (solutions.n_trials, n_intervals):
+        raise DecodingError(
+            f"known_differences has shape {known.shape} but the batch has "
+            f"{solutions.n_trials} trials of {n_intervals} sample intervals"
+        )
+    known_wrapped = known.size == 0 or float(np.max(np.abs(known))) <= np.pi
+    if not known_wrapped:
+        # Out-of-range known differences need the reference wrap; this
+        # path is cold (the decoder always passes +/- pi/2), so defer to
+        # the numpy kernel rather than duplicating wrap_angle in JIT.
+        return batch_match_phase_differences(solutions, known)
+    kernels = _JIT_KERNELS
+    assert kernels is not None
+    selected_phi, selected_theta, selected_errors, bits = kernels["match"](
+        np.ascontiguousarray(solutions.theta1),
+        np.ascontiguousarray(solutions.theta2),
+        np.ascontiguousarray(solutions.phi1),
+        np.ascontiguousarray(solutions.phi2),
+        known,
+    )
+    return BatchMatchResult(
+        unknown_differences=selected_phi,
+        known_differences_selected=selected_theta,
+        match_errors=selected_errors,
+        bits=bits,
+    )
+
+
+def make_numba_backend() -> Backend:
+    """Build the numba backend, or its warned numpy fallback.
+
+    The fallback object keeps the registry name ``"numba"`` (so configs
+    naming it still resolve) but records ``fallback_of="numpy"`` and
+    runs the reference kernels — results are identical either way, which
+    is what lets the backend stay digest-neutral across environments.
+    """
+    numba = _import_numba()
+    if numba is None:
+        _warn_fallback_once()
+        return Backend(
+            name="numba",
+            description="numba JIT decode kernels (currently degraded to numpy: "
+            "numba is not installed)",
+            digest_neutral=True,
+            phase_solutions=batch_phase_solutions,
+            match_phase_differences=batch_match_phase_differences,
+            differential_bits=batch_differential_bits,
+            modulate_waveform=modulate_waveform,
+            demodulate_phase_differences=demodulate_phase_differences,
+            fallback_of="numpy",
+        )
+    global _JIT_KERNELS
+    if _JIT_KERNELS is None:
+        _JIT_KERNELS = _build_jit_kernels(numba)
+    return Backend(
+        name="numba",
+        description="numba JIT-compiled decode kernels (bit-identical decode "
+        "output; modem kernels stay numpy)",
+        digest_neutral=True,
+        phase_solutions=_jit_phase_solutions,
+        match_phase_differences=_jit_match_phase_differences,
+        differential_bits=batch_differential_bits,
+        modulate_waveform=modulate_waveform,
+        demodulate_phase_differences=demodulate_phase_differences,
+        meta={"jit": True},
+    )

@@ -15,6 +15,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import DEFAULT_BACKEND, available_backends
 from repro.channel.impairments import ImpairmentConfig
 from repro.constants import DEFAULT_ANC_REDUNDANCY_OVERHEAD, PAPER_NUM_RUNS
 from repro.exceptions import ConfigurationError
@@ -60,6 +61,15 @@ class ExperimentConfig:
         are identical at every batch size, and it is excluded from the
         engine's cache digest for exactly that reason.  See
         ``docs/PERFORMANCE.md`` for guidance on setting it.
+    backend:
+        Compute backend for the batched PHY kernels (one of
+        :func:`repro.backend.available_backends`).  The engine makes it
+        ambient for every trial it executes, in-process and in workers
+        alike.  Digest-neutral backends (``numpy``, ``numba``) follow
+        the ``batch_size`` rule and stay out of the cache digest;
+        ``float32-fast`` is accuracy-gated rather than bit-exact and
+        forks the digest.  The default is omitted from :meth:`snapshot`
+        so pre-backend digests and golden fixtures stay stable.
     impairments:
         Optional channel impairments (per-sender CFO, stochastic fading)
         applied on top of the baseline flat channel — see
@@ -80,6 +90,7 @@ class ExperimentConfig:
     chain_redundancy_overhead: float = 0.04
     seed: int = 20070823
     batch_size: int = 1
+    backend: str = "numpy"
     impairments: ImpairmentConfig = ImpairmentConfig()
 
     def __post_init__(self) -> None:
@@ -88,6 +99,11 @@ class ExperimentConfig:
             raise ConfigurationError("runs must be positive")
         if self.batch_size <= 0:
             raise ConfigurationError("batch_size must be positive")
+        if self.backend not in available_backends():
+            raise ConfigurationError(
+                f"unknown compute backend {self.backend!r}; choose from "
+                f"{', '.join(available_backends())}"
+            )
         if self.packets_per_run <= 0:
             raise ConfigurationError("packets_per_run must be positive")
         if self.payload_bits <= 0 or self.payload_bits % 8 != 0:
@@ -156,11 +172,15 @@ class ExperimentConfig:
         test is *equality with the default*, not ``enabled``: a bare
         ``fading_mode="drift"`` request is inactive on most experiments
         but changes what ``fading_sweep`` computes, so it must fork the
-        digest.
+        digest.  The default ``backend`` is omitted for the same
+        stability reason (and non-default digest-neutral backends are
+        dropped later, by the engine's digest rule).
         """
         payload = asdict(self)
         if self.impairments == ImpairmentConfig():
             payload.pop("impairments")
+        if self.backend == DEFAULT_BACKEND:
+            payload.pop("backend")
         return payload
 
     @property

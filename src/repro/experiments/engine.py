@@ -41,12 +41,16 @@ import re
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, is_dataclass
+from multiprocessing.shared_memory import SharedMemory
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
+from typing import Any, Callable, ContextManager, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
 
 import repro
-from repro.exceptions import ConfigurationError
+from repro.exceptions import BackendError, ConfigurationError
 
 #: Signature every trial function must satisfy: ``(config, key, **params)``.
 TrialFn = Callable[..., Any]
@@ -62,6 +66,111 @@ _CACHE_MISS = object()
 
 _SLUG_SANITISER = re.compile(r"[^A-Za-z0-9_.+-]+")
 
+#: Arrays at or above this many bytes ride to workers through
+#: :mod:`multiprocessing.shared_memory` instead of being pickled into the
+#: task payload.  Below it, the segment bookkeeping costs more than the
+#: pickle copy it saves.
+_SHM_MIN_BYTES = 1 << 16
+
+
+@dataclass(frozen=True)
+class _SharedArrayRef:
+    """Picklable stand-in for an ndarray parked in a shared-memory segment.
+
+    Crossing the process boundary this is all that gets pickled — name,
+    shape, dtype string — instead of the array's bytes; the worker
+    re-materializes a read-only view onto the same physical pages.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def _untrack_shared_memory(shm: SharedMemory) -> None:
+    """Detach a worker-side attachment from the resource tracker.
+
+    The parent process owns segment lifetime (create *and* unlink); a
+    worker that merely attaches must not let its resource tracker also
+    claim the segment, or interpreter shutdown double-unlinks and logs
+    spurious leak warnings.  Best-effort: tracker internals are private,
+    and failing to untrack is cosmetic, not incorrect.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+def _export_shared_arrays(
+    kwargs: Dict[str, Any],
+) -> Tuple[Dict[str, Any], List[SharedMemory]]:
+    """Move large array params into shared memory for zero-copy handoff.
+
+    Returns the kwargs with each exported ndarray replaced by a
+    :class:`_SharedArrayRef`, plus the created segments (the caller must
+    close *and* unlink them once every worker is done — including when a
+    worker crashes).  Small arrays, object arrays and non-array values
+    pass through untouched.
+    """
+    exported: Dict[str, Any] = {}
+    segments: List[SharedMemory] = []
+    for name, value in kwargs.items():
+        if (
+            isinstance(value, np.ndarray)
+            and not value.dtype.hasobject
+            and value.nbytes >= _SHM_MIN_BYTES
+        ):
+            shm = SharedMemory(create=True, size=value.nbytes)
+            view: np.ndarray = np.ndarray(value.shape, dtype=value.dtype, buffer=shm.buf)
+            view[...] = value
+            segments.append(shm)
+            exported[name] = _SharedArrayRef(shm.name, value.shape, value.dtype.str)
+        else:
+            exported[name] = value
+    return exported, segments
+
+
+def _resolve_shared_arrays(
+    kwargs: Dict[str, Any],
+) -> Tuple[Dict[str, Any], List[SharedMemory]]:
+    """Worker-side inverse of :func:`_export_shared_arrays`.
+
+    Replaces every :class:`_SharedArrayRef` with a read-only ndarray view
+    onto the attached segment.  The returned handles must stay open for
+    as long as the views are in use (the views alias the mapping).
+    """
+    resolved = dict(kwargs)
+    handles: List[SharedMemory] = []
+    for name, value in kwargs.items():
+        if isinstance(value, _SharedArrayRef):
+            shm = SharedMemory(name=value.name)
+            _untrack_shared_memory(shm)
+            handles.append(shm)
+            view: np.ndarray = np.ndarray(value.shape, dtype=np.dtype(value.dtype), buffer=shm.buf)
+            view.setflags(write=False)
+            resolved[name] = view
+    return resolved, handles
+
+
+def _backend_scope(config: Any) -> ContextManager[Any]:
+    """Ambient-backend scope for one trial block, from ``config.backend``.
+
+    Configs without a ``backend`` field (or with ``None``) run in
+    whatever backend is already ambient — a no-op scope.  This is how a
+    config's backend choice reaches worker processes: the name travels
+    inside the pickled config, and the block executor re-enters the scope
+    on the other side.
+    """
+    backend_name = getattr(config, "backend", None)
+    if not isinstance(backend_name, str):
+        return nullcontext()
+    from repro.backend import use_backend
+
+    return use_backend(backend_name)
+
 
 def _execute_trial_block(
     trial_fn: "TrialFn", config: Any, keys: List["TrialKey"], kwargs: Dict[str, Any]
@@ -71,23 +180,89 @@ def _execute_trial_block(
     Top-level (hence picklable) so a whole block crosses the process
     boundary as one task: one submit, one pickle round-trip and one
     future per ``batch_size`` trials instead of per trial.  Results come
-    back in ``keys`` order, so batching cannot reorder anything.
+    back in ``keys`` order, so batching cannot reorder anything.  Any
+    shared-memory array refs in ``kwargs`` are resolved to views here and
+    released when the block finishes, and the config's compute backend
+    (if it names one) is made ambient for the block.
     """
-    return [trial_fn(config, key, **kwargs) for key in keys]
+    resolved, handles = _resolve_shared_arrays(kwargs)
+    try:
+        with _backend_scope(config):
+            return [trial_fn(config, key, **resolved) for key in keys]
+    finally:
+        del resolved  # drop array views before closing their mappings
+        for handle in handles:
+            handle.close()
 
 
-def _key_slug(key: TrialKey) -> str:
-    """Filesystem-safe, unique-per-key name for one trial's cache file."""
+def _key_token(key: TrialKey) -> str:
+    """Injective text encoding of a trial key (hashed into the slug).
+
+    Unlike the display slug, this encoding never collides: values are
+    type-tagged (``1`` vs ``"1"``), strings are length-prefixed (so tuple
+    joins cannot be forged by embedded separators), and tuples keep their
+    structure.
+    """
     if isinstance(key, bool):
         raise ConfigurationError("trial keys must be int, float, str or tuple")
     if isinstance(key, int):
+        return f"i{key}"
+    if isinstance(key, float):
+        return f"f{key!r}"
+    if isinstance(key, str):
+        return f"s{len(key)}:{key}"
+    if isinstance(key, tuple):
+        return "t(" + ",".join(_key_token(part) for part in key) + ")"
+    raise ConfigurationError("trial keys must be int, float, str or tuple")
+
+
+def _key_base(key: TrialKey) -> str:
+    """Human-readable (possibly colliding) base of a cache-file name."""
+    if isinstance(key, int):
         return f"{key:08d}"
     if isinstance(key, tuple):
-        return "t_" + "_".join(_key_slug(part) for part in key)
-    if isinstance(key, (float, str)):
-        text = repr(key) if isinstance(key, float) else key
-        return _SLUG_SANITISER.sub("_", text) or "_"
-    raise ConfigurationError("trial keys must be int, float, str or tuple")
+        return "t_" + "_".join(_key_base(part) for part in key)
+    text = repr(key) if isinstance(key, float) else str(key)
+    return _SLUG_SANITISER.sub("_", text) or "_"
+
+
+def _key_slug(key: TrialKey) -> str:
+    """Filesystem-safe, unique-per-key name for one trial's cache file.
+
+    ``<readable base>-<8 hex digest>``: the base keeps cache directories
+    human-navigable (int keys stay zero-padded, hence sorted), while the
+    digest of the injective :func:`_key_token` encoding makes the name
+    collision-free — ``"a/b"`` vs ``"a_b"``, ``("a", "b")`` vs
+    ``("a_b",)`` and ``1`` vs ``"00000001"`` all sanitize to the same
+    base but hash apart, so resume can never serve one key's cached
+    result for another.  The base is truncated to bound file-name length;
+    uniqueness rides entirely on the digest.
+    """
+    token = _key_token(key)
+    digest = hashlib.sha256(token.encode("utf-8")).hexdigest()[:8]
+    return f"{_key_base(key)[:96]}-{digest}"
+
+
+def _pop_digest_neutral_backend(config_repr: Dict[str, Any]) -> None:
+    """Drop a ``backend`` config field from the digest view when neutral.
+
+    The same rule as ``batch_size``: a backend the differential suite
+    certifies equivalent to the scalar reference (``numpy``, ``numba``)
+    is an execution knob, so caches survive switching it.  A
+    non-neutral backend (``float32-fast``) — or any unrecognized value —
+    stays in and forks the digest, the conservative direction.
+    """
+    name = config_repr.get("backend")
+    if not isinstance(name, str):
+        return
+    from repro.backend import get_backend
+
+    try:
+        neutral = get_backend(name).digest_neutral
+    except BackendError:
+        return
+    if neutral:
+        config_repr.pop("backend", None)
 
 
 @dataclass(frozen=True)
@@ -139,6 +314,14 @@ class ExperimentEngine:
         trial — the reference behaviour.  Batching only amortizes
         dispatch overhead; results and the per-trial cache layout are
         identical at every batch size.
+    shared_memory:
+        When ``True`` (the default), large ndarray ``params`` cross the
+        process boundary as :mod:`multiprocessing.shared_memory` segments
+        instead of being pickled into every task — zero-copy handoff for
+        trial-block waveform arrays.  Results are bit-identical either
+        way (workers see the same values, read-only); the knob exists for
+        differential testing and as an escape hatch.  Segments are always
+        unlinked by the parent, worker crashes included.
     """
 
     def __init__(
@@ -146,6 +329,7 @@ class ExperimentEngine:
         workers: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         batch_size: int = 1,
+        shared_memory: bool = True,
     ) -> None:
         """See the class docstring for the constructor-knob semantics."""
         if int(workers) < 1:
@@ -155,6 +339,10 @@ class ExperimentEngine:
         self.workers = int(workers)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.batch_size = int(batch_size)
+        self.shared_memory = bool(shared_memory)
+        #: Segment names created by the most recent parallel :meth:`map`
+        #: (diagnostics/tests: each must be unlinked once the call ends).
+        self._last_shm_names: List[str] = []
         #: Stats of the most recent :meth:`map` call (``None`` before any).
         self.last_stats: Optional[EngineStats] = None
         #: Stats of every :meth:`map` call this engine executed, in order.
@@ -180,6 +368,16 @@ class ExperimentEngine:
         yields a different digest, so cached trials can never leak across
         configurations (in-place code edits within one version are the
         one thing it cannot detect — see the module docstring).
+
+        Two classes of config field are deliberately excluded: execution
+        knobs the differential suite proves result-neutral
+        (``batch_size``, and ``backend`` whenever the named backend is
+        digest-neutral — ``float32-fast`` is not, and forks the digest).
+        Configs that are neither snapshot-bearing, nor dataclasses, nor
+        plainly JSON-serializable are rejected with
+        :class:`~repro.exceptions.ConfigurationError`: silently digesting
+        their ``repr`` would bake memory addresses into the digest and
+        resume would never hit.
         """
         snapshot = getattr(config, "snapshot", None)
         if callable(snapshot):
@@ -188,14 +386,25 @@ class ExperimentEngine:
             # digested through it.
             config_repr: Any = dict(snapshot())
             config_repr.pop("batch_size", None)
+            _pop_digest_neutral_backend(config_repr)
         elif is_dataclass(config) and not isinstance(config, type):
             config_repr = asdict(config)
             # Execution knobs that provably do not change trial results
             # (the differential suite enforces this for batch_size) stay
             # out of the digest so caches survive changing them.
             config_repr.pop("batch_size", None)
+            _pop_digest_neutral_backend(config_repr)
         else:
-            config_repr = repr(config)
+            try:
+                json.dumps(config)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"cannot build a stable cache digest for config of type "
+                    f"{type(config).__name__}: it is not a dataclass, has no "
+                    "snapshot() method, and is not JSON-serializable (its repr "
+                    "would embed memory addresses, so resume would never hit)"
+                ) from None
+            config_repr = config
         payload = {
             "version": getattr(repro, "__version__", "0"),
             "experiment": experiment,
@@ -321,24 +530,43 @@ class ExperimentEngine:
             # future bookkeeping to amortize), so keep the per-trial
             # execute-then-persist loop: an interruption never loses a
             # completed trial from the resume cache.
-            for key in pending:
-                result = trial_fn(config, key, **kwargs)
-                self._store_cached(self._trial_path(digest, key), result)
-                results[_key_slug(key)] = result
+            with _backend_scope(config):
+                for key in pending:
+                    result = trial_fn(config, key, **kwargs)
+                    self._store_cached(self._trial_path(digest, key), result)
+                    results[_key_slug(key)] = result
         else:
-            max_workers = min(self.workers, len(blocks))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = {
-                    pool.submit(_execute_trial_block, trial_fn, config, block, kwargs): block
-                    for block in blocks
-                }
-                for future in as_completed(futures):
-                    block = futures[future]
-                    # Persist incrementally so an interruption after this
-                    # point never re-runs this block's trials.
-                    for key, result in zip(block, future.result()):
-                        self._store_cached(self._trial_path(digest, key), result)
-                        results[_key_slug(key)] = result
+            ship_kwargs = kwargs
+            shm_segments: List[SharedMemory] = []
+            if self.shared_memory:
+                ship_kwargs, shm_segments = _export_shared_arrays(kwargs)
+            self._last_shm_names = [segment.name for segment in shm_segments]
+            try:
+                max_workers = min(self.workers, len(blocks))
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    futures = {
+                        pool.submit(
+                            _execute_trial_block, trial_fn, config, block, ship_kwargs
+                        ): block
+                        for block in blocks
+                    }
+                    for future in as_completed(futures):
+                        block = futures[future]
+                        # Persist incrementally so an interruption after this
+                        # point never re-runs this block's trials.
+                        for key, result in zip(block, future.result()):
+                            self._store_cached(self._trial_path(digest, key), result)
+                            results[_key_slug(key)] = result
+            finally:
+                # The parent owns segment lifetime: close and unlink even
+                # when a worker crashed or the pool broke, or the segments
+                # would outlive the run in /dev/shm.
+                for segment in shm_segments:
+                    segment.close()
+                    try:
+                        segment.unlink()
+                    except FileNotFoundError:  # pragma: no cover - defensive
+                        pass
 
         self.last_stats = EngineStats(
             total_trials=len(keys),
@@ -368,7 +596,10 @@ class ExperimentEngine:
         process-pool pickling and future bookkeeping for sweeps whose
         individual trials are short (the regime the batched PHY kernels
         create).  With ``batch_size=None`` the engine's configured default
-        applies (the resolution :meth:`map` already performs).
+        applies (the resolution :meth:`map` already performs).  Large
+        ndarray ``params`` additionally ride to workers through shared
+        memory (see the ``shared_memory`` constructor knob) — zero-copy,
+        bit-identical to the pickling path.
         """
         return self.map(
             experiment,

@@ -19,8 +19,11 @@ the trial rows, and the same multiply-then-add ramp ``np.linspace`` uses).
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
+from repro.backend import Backend, resolve_backend
 from repro.constants import DEFAULT_TX_AMPLITUDE, MSK_PHASE_STEP
 from repro.modulation.msk import interpolate_phase_ramp
 from repro.signal.batch import BatchLike, SignalBatch, ensure_batch_array
@@ -58,7 +61,11 @@ class BatchMSKModulator:
     Construction parameters mirror
     :class:`~repro.modulation.msk.MSKModulator`; ``modulate`` returns a
     :class:`~repro.signal.batch.SignalBatch` whose row ``i`` is
-    bit-identical to the scalar modulator applied to ``bits[i]``.
+    bit-identical to the scalar modulator applied to ``bits[i]`` when the
+    waveform-synthesis step runs on a digest-neutral compute backend
+    (``backend=None`` resolves the ambient one per call; the
+    ``float32-fast`` backend synthesises in reduced precision before the
+    batch container upcasts to complex128).
     """
 
     def __init__(
@@ -66,10 +73,12 @@ class BatchMSKModulator:
         amplitude: float = DEFAULT_TX_AMPLITUDE,
         samples_per_symbol: int = 1,
         initial_phase: float = 0.0,
+        backend: Union[None, str, Backend] = None,
     ) -> None:
         self.amplitude = ensure_positive(amplitude, "amplitude")
         self._samples_per_symbol = ensure_positive_int(samples_per_symbol, "samples_per_symbol")
         self.initial_phase = float(initial_phase)
+        self.backend = backend
 
     @property
     def samples_per_symbol(self) -> int:
@@ -89,14 +98,24 @@ class BatchMSKModulator:
             phases = boundary_phases
         else:
             phases = interpolate_phase_ramp(boundary_phases, self._samples_per_symbol)
-        return SignalBatch(self.amplitude * np.exp(1j * phases))
+        backend = resolve_backend(self.backend)
+        return SignalBatch(backend.modulate_waveform(phases, self.amplitude))
 
 
 class BatchMSKDemodulator:
-    """Differential MSK demodulation (Eq. 1) over a whole signal batch."""
+    """Differential MSK demodulation (Eq. 1) over a whole signal batch.
 
-    def __init__(self, samples_per_symbol: int = 1) -> None:
+    ``backend`` selects the compute backend for the conjugate-product
+    kernel (``None`` resolves the ambient backend at each call).
+    """
+
+    def __init__(
+        self,
+        samples_per_symbol: int = 1,
+        backend: Union[None, str, Backend] = None,
+    ) -> None:
         self._samples_per_symbol = ensure_positive_int(samples_per_symbol, "samples_per_symbol")
+        self.backend = backend
 
     @property
     def samples_per_symbol(self) -> int:
@@ -112,8 +131,7 @@ class BatchMSKDemodulator:
         samples = ensure_batch_array(batch, "batch")[:, :: self._samples_per_symbol]
         if samples.shape[1] < 2:
             return np.zeros((samples.shape[0], 0), dtype=float)
-        ratio = samples[:, 1:] * np.conj(samples[:, :-1])
-        return np.angle(ratio)
+        return resolve_backend(self.backend).demodulate_phase_differences(samples)
 
     def demodulate(self, batch: BatchLike) -> np.ndarray:
         """Decode one bit row per waveform; shape ``(n_trials, n_bits)``."""

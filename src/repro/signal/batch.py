@@ -31,15 +31,24 @@ from repro.signal.samples import ComplexSignal
 BatchLike = Union["SignalBatch", np.ndarray, Sequence[Sequence[complex]]]
 
 
-def ensure_batch_array(samples: BatchLike, name: str = "samples") -> np.ndarray:
-    """Coerce ``samples`` to a read-only 2D complex128 array.
+def ensure_batch_array(
+    samples: BatchLike, name: str = "samples", dtype: np.dtype = np.complex128
+) -> np.ndarray:
+    """Coerce ``samples`` to a contiguous 2D complex array of ``dtype``.
 
-    Accepts a :class:`SignalBatch` (returned as-is, already validated) or
-    anything :func:`numpy.asarray` turns into a 2D complex array.
+    Accepts a :class:`SignalBatch` (returned as-is when already of the
+    requested dtype, which is the no-copy fast path for the default
+    ``complex128``) or anything :func:`numpy.asarray` turns into a 2D
+    complex array.  Reduced-precision compute backends pass
+    ``dtype=np.complex64`` to get their working copy in one coercion.
     """
+    dtype = np.dtype(dtype)
     if isinstance(samples, SignalBatch):
-        return samples.samples
-    arr = np.asarray(samples, dtype=np.complex128)
+        arr = samples.samples
+        if arr.dtype == dtype:
+            return arr
+        return np.ascontiguousarray(arr, dtype=dtype)
+    arr = np.asarray(samples, dtype=dtype)
     if arr.ndim != 2:
         raise ConfigurationError(
             f"{name} must be a 2D (n_trials, n_samples) array, got ndim={arr.ndim}"

@@ -1,0 +1,267 @@
+"""Tests for the pluggable compute-backend registry (:mod:`repro.backend`).
+
+Covers the registry contract (lazy factories, unknown-name errors, the
+import-purity rule that the default environment never imports numba),
+the accuracy-gate refusal semantics for reduced-precision backends, the
+ambient `use_backend` scoping, and the digest-neutrality rules the
+experiment engine applies per backend.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.backend.numba_backend as numba_backend_module
+from repro.anc.decoder import InterferenceDecoder
+from repro.backend import (
+    Backend,
+    DEFAULT_BACKEND,
+    active_backend_name,
+    available_backends,
+    get_backend,
+    is_digest_neutral,
+    register_backend,
+    resolve_backend,
+    use_backend,
+)
+from repro.backend.float32_fast import make_float32_fast_backend
+from repro.backend.numba_backend import NumbaFallbackWarning
+from repro.exceptions import BackendError, ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import ExperimentEngine
+from repro.modulation.batch import BatchMSKModulator
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+
+def _trial_fn(cfg, key):
+    """Toy digestable trial function (never executed in digest tests)."""
+    return key
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert available_backends() == ["float32-fast", "numba", "numpy"]
+
+    def test_default_backend_is_numpy(self):
+        assert DEFAULT_BACKEND == "numpy"
+        assert get_backend().name in ("numpy", active_backend_name())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendError, match="unknown compute backend"):
+            get_backend("cuda")
+
+    def test_backend_error_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("cuda")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(BackendError, match="already registered"):
+            register_backend("numpy", lambda: get_backend("numpy"))
+
+    def test_resolve_accepts_name_none_and_instance(self):
+        by_name = resolve_backend("numpy")
+        assert resolve_backend(None).name == DEFAULT_BACKEND
+        assert resolve_backend(by_name) is by_name
+
+    def test_module_import_never_imports_numba(self):
+        """The registry (and the numba adapter module) stay numba-free.
+
+        CI's default job has no numba; importing the package — or even
+        resolving the numba backend's fallback — must not attempt a
+        module-level ``import numba``.  Checked in a clean interpreter so
+        this test is meaningful even when numba *is* installed.
+        """
+        code = (
+            "import sys, warnings\n"
+            "import repro.backend\n"
+            "import repro.backend.numba_backend\n"
+            "import repro.anc.decoder\n"
+            "assert 'numba' not in sys.modules, 'numba imported at module import time'\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code],
+            check=True,
+            env={"PYTHONPATH": str(SRC_DIR), "PATH": "/usr/bin:/bin"},
+        )
+
+
+class TestNumbaFallback:
+    def test_fallback_warns_once_and_decodes_like_numpy(self, monkeypatch):
+        """Without numba, the backend degrades to numpy with one warning."""
+        monkeypatch.setattr(numba_backend_module, "_import_numba", lambda: None)
+        monkeypatch.setattr(numba_backend_module, "_FALLBACK_WARNED", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = numba_backend_module.make_numba_backend()
+            second = numba_backend_module.make_numba_backend()
+        fallback_warnings = [
+            w for w in caught if issubclass(w.category, NumbaFallbackWarning)
+        ]
+        assert len(fallback_warnings) == 1
+        assert first.fallback_of == "numpy"
+        assert first.digest_neutral
+        numpy_backend = get_backend("numpy")
+        assert second.phase_solutions is numpy_backend.phase_solutions
+        assert second.match_phase_differences is numpy_backend.match_phase_differences
+
+
+class TestAccuracyGate:
+    def test_float32_fast_carries_a_gate(self):
+        gate = get_backend("float32-fast").accuracy_gate
+        assert gate is not None
+        assert 0.0 <= float(gate["max_ber_deviation"]) < 1.0
+        assert gate["reference"] == "numpy"
+
+    def test_non_neutral_backend_without_gate_refused(self):
+        backend = make_float32_fast_backend()
+        gateless = Backend(
+            name="float32-fast",
+            description=backend.description,
+            digest_neutral=False,
+            phase_solutions=backend.phase_solutions,
+            match_phase_differences=backend.match_phase_differences,
+            differential_bits=backend.differential_bits,
+            modulate_waveform=backend.modulate_waveform,
+            demodulate_phase_differences=backend.demodulate_phase_differences,
+            accuracy_gate=None,
+        )
+        with pytest.raises(BackendError, match="accuracy-gate"):
+            resolve_backend(gateless)
+
+    def test_invalid_gate_bound_refused(self):
+        backend = make_float32_fast_backend()
+        bogus = Backend(
+            name="float32-fast",
+            description=backend.description,
+            digest_neutral=False,
+            phase_solutions=backend.phase_solutions,
+            match_phase_differences=backend.match_phase_differences,
+            differential_bits=backend.differential_bits,
+            modulate_waveform=backend.modulate_waveform,
+            demodulate_phase_differences=backend.demodulate_phase_differences,
+            accuracy_gate={"reference": "numpy", "max_ber_deviation": 1.5},
+        )
+        with pytest.raises(BackendError, match="invalid"):
+            resolve_backend(bogus)
+
+
+class TestAmbientScope:
+    def test_use_backend_scopes_and_restores(self):
+        assert active_backend_name() == "numpy"
+        with use_backend("float32-fast") as backend:
+            assert backend.name == "float32-fast"
+            assert active_backend_name() == "float32-fast"
+            with use_backend("numpy"):
+                assert active_backend_name() == "numpy"
+            assert active_backend_name() == "float32-fast"
+        assert active_backend_name() == "numpy"
+
+    def test_scope_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("float32-fast"):
+                raise RuntimeError("boom")
+        assert active_backend_name() == "numpy"
+
+    def test_unknown_name_refused_before_entering(self):
+        with pytest.raises(BackendError):
+            with use_backend("cuda"):
+                pass  # pragma: no cover
+
+    def test_ambient_backend_drives_decoder_and_modulator(self):
+        """Objects built without an explicit backend resolve the ambient one."""
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, (4, 32), dtype=np.uint8)
+        with use_backend("float32-fast"):
+            ambient = BatchMSKModulator().modulate(bits).samples
+        explicit = BatchMSKModulator(backend="float32-fast").modulate(bits).samples
+        reference = BatchMSKModulator().modulate(bits).samples
+        assert np.array_equal(ambient, explicit)
+        # Reduced precision must actually have been used in the scope.
+        assert not np.array_equal(ambient, reference)
+
+
+class TestDigestNeutrality:
+    def test_neutral_flags(self):
+        assert is_digest_neutral("numpy")
+        assert is_digest_neutral("numba")
+        assert not is_digest_neutral("float32-fast")
+
+    def test_numba_and_numpy_share_a_digest(self):
+        base = ExperimentConfig.quick(seed=3)
+        jit = base.with_overrides(backend="numba")
+        assert ExperimentEngine.task_digest("toy", _trial_fn, base) == (
+            ExperimentEngine.task_digest("toy", _trial_fn, jit)
+        )
+
+    def test_float32_fast_forks_the_digest(self):
+        base = ExperimentConfig.quick(seed=3)
+        fast = base.with_overrides(backend="float32-fast")
+        assert ExperimentEngine.task_digest("toy", _trial_fn, base) != (
+            ExperimentEngine.task_digest("toy", _trial_fn, fast)
+        )
+
+    def test_default_backend_keeps_snapshot_stable(self):
+        """Pre-backend digests/fixtures must not see a new key by default."""
+        assert "backend" not in ExperimentConfig.quick().snapshot()
+        assert (
+            ExperimentConfig.quick().with_overrides(backend="float32-fast").snapshot()[
+                "backend"
+            ]
+            == "float32-fast"
+        )
+
+
+class TestConfigValidation:
+    def test_unknown_backend_in_config_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown compute backend"):
+            ExperimentConfig(backend="cuda")
+
+    def test_known_backends_accepted(self):
+        for name in available_backends():
+            assert ExperimentConfig(backend=name).backend == name
+
+
+class TestFloat32Accuracy:
+    def test_decode_within_declared_gate(self):
+        """BER deviation vs the numpy backend stays inside the gate.
+
+        A noisy synthetic collision ensemble (amplitude spread, random
+        phases, AWGN) — deliberately harsher than the clean benchmark
+        batch, so near-boundary samples occur and the bound is exercised
+        rather than trivially zero.
+        """
+        rng = np.random.default_rng(20070823)
+        n_trials, frame_bits = 48, 256
+        known_offset, unknown_offset = 0, frame_bits // 4
+        total = unknown_offset + frame_bits + 1 + 12
+        known_bits = rng.integers(0, 2, (n_trials, frame_bits), dtype=np.uint8)
+        unknown_bits = rng.integers(0, 2, (n_trials, frame_bits), dtype=np.uint8)
+        rows = np.zeros((n_trials, total), dtype=np.complex128)
+        rows[:, known_offset : known_offset + frame_bits + 1] += (
+            BatchMSKModulator(amplitude=1.0).modulate(known_bits).samples
+            * np.exp(1j * rng.uniform(-np.pi, np.pi, (n_trials, 1)))
+        )
+        rows[:, unknown_offset : unknown_offset + frame_bits + 1] += (
+            BatchMSKModulator(amplitude=0.6).modulate(unknown_bits).samples
+            * np.exp(1j * rng.uniform(-np.pi, np.pi, (n_trials, 1)))
+        )
+        rows += 0.08 * (
+            rng.standard_normal(rows.shape) + 1j * rng.standard_normal(rows.shape)
+        ) / np.sqrt(2)
+
+        args = (known_bits, known_offset, unknown_offset, frame_bits)
+        reference_bits, _ = InterferenceDecoder(backend="numpy").decode_batch(rows, *args)
+        fast_bits, _ = InterferenceDecoder(backend="float32-fast").decode_batch(rows, *args)
+
+        gate = float(get_backend("float32-fast").accuracy_gate["max_ber_deviation"])
+        deviation = float(np.mean(fast_bits != reference_bits))
+        assert deviation <= gate
+        # Both backends must still decode the actual payload usefully.
+        assert float(np.mean(fast_bits != unknown_bits)) < 0.05

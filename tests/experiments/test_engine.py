@@ -13,12 +13,20 @@ Covers the three guarantees the experiment runners rely on:
 
 from __future__ import annotations
 
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.experiments.alice_bob import run_alice_bob_experiment, run_alice_bob_trial
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.engine import ExperimentEngine, default_engine
+from repro.experiments.engine import (
+    _SHM_MIN_BYTES,
+    ExperimentEngine,
+    _key_slug,
+    default_engine,
+)
 from repro.experiments.runner import RUNNERS, available_runners, get_runner
 from repro.experiments.sir_sweep import run_sir_sweep
 from repro.experiments.snr_sweep import run_snr_sweep
@@ -42,6 +50,16 @@ def _failing_trial(cfg: ExperimentConfig, key: int) -> float:
 def _none_trial(cfg: ExperimentConfig, key: int) -> None:
     """Toy trial whose legitimate result is ``None``."""
     return None
+
+
+def _weighted_trial(cfg: ExperimentConfig, key: int, weights=None) -> float:
+    """Toy trial reading a (possibly shared-memory) array parameter."""
+    return float(weights[key % weights.size]) * (key + 1)
+
+
+def _crashing_weighted_trial(cfg: ExperimentConfig, key: int, weights=None) -> float:
+    """Toy trial that crashes after touching its shared array."""
+    raise RuntimeError(f"trial {key} exploded with {float(weights[0])}")
 
 
 @pytest.fixture
@@ -181,7 +199,7 @@ class TestRunBatched:
             engine.run_batched("toy", _fail_on_two, quick_config, range(4))
         digest = ExperimentEngine.task_digest("toy", _fail_on_two, quick_config)
         cached = sorted(p.name for p in (tmp_path / digest).glob("*.pkl"))
-        assert cached == ["00000000.pkl", "00000001.pkl"]
+        assert cached == [f"{_key_slug(0)}.pkl", f"{_key_slug(1)}.pkl"]
 
     def test_config_batch_size_reaches_every_figure_runner(self, quick_config):
         """chain/x/capacity honor the config knob like alice-bob does."""
@@ -232,7 +250,7 @@ class TestResume:
         engine = ExperimentEngine(cache_dir=tmp_path)
         results = engine.map("toy", _draw_trial, quick_config, range(4))
         digest = engine.last_stats.digest
-        (tmp_path / digest / "00000002.pkl").unlink()
+        (tmp_path / digest / f"{_key_slug(2)}.pkl").unlink()
 
         resumed = ExperimentEngine(cache_dir=tmp_path)
         assert resumed.map("toy", _draw_trial, quick_config, range(4)) == results
@@ -243,7 +261,38 @@ class TestResume:
         engine = ExperimentEngine(cache_dir=tmp_path)
         results = engine.map("toy", _draw_trial, quick_config, range(2))
         digest = engine.last_stats.digest
-        (tmp_path / digest / "00000001.pkl").write_bytes(b"torn write")
+        (tmp_path / digest / f"{_key_slug(1)}.pkl").write_bytes(b"torn write")
+
+        resumed = ExperimentEngine(cache_dir=tmp_path)
+        assert resumed.map("toy", _draw_trial, quick_config, range(2)) == results
+        assert resumed.last_stats.executed_trials == 1
+
+    def test_truncated_cache_entry_recomputed(self, quick_config, tmp_path):
+        """A torn write that is a *prefix* of a valid pickle still recomputes.
+
+        Unlike random garbage, a truncated pickle begins with a valid
+        opcode stream and only fails at EOF — the resume path must treat
+        that as a miss, not crash mid-resume.
+        """
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        results = engine.map("toy", _draw_trial, quick_config, range(3))
+        digest = engine.last_stats.digest
+        victim = tmp_path / digest / f"{_key_slug(1)}.pkl"
+        valid = victim.read_bytes()
+        assert len(valid) > 2
+        victim.write_bytes(valid[: len(valid) // 2])
+
+        resumed = ExperimentEngine(cache_dir=tmp_path)
+        assert resumed.map("toy", _draw_trial, quick_config, range(3)) == results
+        assert resumed.last_stats.cached_trials == 2
+        assert resumed.last_stats.executed_trials == 1
+
+    def test_empty_cache_entry_recomputed(self, quick_config, tmp_path):
+        """Zero-byte files (crash between create and write) are misses too."""
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        results = engine.map("toy", _draw_trial, quick_config, range(2))
+        digest = engine.last_stats.digest
+        (tmp_path / digest / f"{_key_slug(0)}.pkl").write_bytes(b"")
 
         resumed = ExperimentEngine(cache_dir=tmp_path)
         assert resumed.map("toy", _draw_trial, quick_config, range(2)) == results
@@ -286,6 +335,140 @@ class TestCacheKeying:
         first = ExperimentEngine.task_digest("toy", _draw_trial, quick_config)
         second = ExperimentEngine.task_digest("toy", _draw_trial, quick_config)
         assert first == second
+
+    def test_undigestable_config_rejected_loudly(self):
+        """A config whose only repr embeds memory addresses must be refused.
+
+        ``repr(object())`` is ``<object object at 0x...>`` — a digest built
+        from it changes every process start, so resume would silently never
+        hit.  The engine now refuses instead of silently falling back.
+        """
+
+        class Opaque:
+            pass
+
+        with pytest.raises(ConfigurationError, match="stable cache digest"):
+            ExperimentEngine.task_digest("toy", _draw_trial, Opaque())
+
+    def test_json_serializable_plain_config_still_digests(self):
+        plain = {"seed": 7, "snr_db": 15.0}
+        first = ExperimentEngine.task_digest("toy", _draw_trial, plain)
+        second = ExperimentEngine.task_digest("toy", _draw_trial, dict(plain))
+        assert first == second
+
+
+class TestCacheKeySlugs:
+    """Regression tests for the historical slug collisions.
+
+    The old sanitising slug mapped distinct keys to one cache file —
+    ``"a/b"`` and ``"a_b"`` both became ``a_b``; ``("a", "b")`` and
+    ``("a_b",)`` both became ``t_a_b`` — so on resume one key could be
+    served another key's cached result.  The slug now appends a short
+    hash of an injective key encoding.
+    """
+
+    @pytest.mark.parametrize(
+        "left, right",
+        [
+            ("a/b", "a_b"),
+            (("a", "b"), ("a_b",)),
+            (("a", "b"), ("a", "b", "")),
+            (1, "00000001"),
+            (1, 1.0),
+            ("a b", "a.b"),
+        ],
+    )
+    def test_distinct_keys_get_distinct_slugs(self, left, right):
+        assert _key_slug(left) != _key_slug(right)
+
+    def test_slugs_stay_filesystem_safe_and_bounded(self):
+        slug = _key_slug(("x" * 500, "y/z", 3, 2.5))
+        assert len(slug) <= 96 + 9
+        assert "/" not in slug
+
+    def test_bool_keys_rejected(self):
+        # bool is an int subclass; allowing it would alias True with 1.
+        with pytest.raises(ConfigurationError):
+            _key_slug(True)
+
+    def test_colliding_keys_resume_to_their_own_results(self, quick_config, tmp_path):
+        """Keys the old slug merged now cache — and resume — separately."""
+        keys = ["a/b", "a_b", ("a", "b"), ("a_b",)]
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        results = engine.map("toy", _echo_trial, quick_config, keys)
+        assert [r[0] for r in results] == keys
+
+        resumed = ExperimentEngine(cache_dir=tmp_path)
+        assert resumed.map("toy", _echo_trial, quick_config, keys) == results
+        assert resumed.last_stats.cached_trials == 4
+        assert resumed.last_stats.executed_trials == 0
+
+
+class TestSharedMemoryHandoff:
+    """Zero-copy parameter shipping must be invisible except in speed.
+
+    Large ndarray params cross the process boundary as
+    ``multiprocessing.shared_memory`` segments instead of being pickled
+    per block; results must be bit-identical either way, and the parent
+    must unlink every segment when the run ends — including when a worker
+    crashes.
+    """
+
+    #: Big enough to cross the export threshold (float64 elements).
+    _BIG = np.arange(_SHM_MIN_BYTES // 8 + 512, dtype=np.float64)
+
+    def _run(self, config, *, shared_memory, trial=_weighted_trial):
+        engine = ExperimentEngine(workers=2, shared_memory=shared_memory)
+        results = engine.run_batched(
+            "toy", trial, config, range(8),
+            params={"weights": self._BIG}, batch_size=2,
+        )
+        return engine, results
+
+    def test_shm_results_bit_identical_to_pickled(self, quick_config):
+        shm_engine, shm_results = self._run(quick_config, shared_memory=True)
+        pickled_engine, pickled_results = self._run(quick_config, shared_memory=False)
+        assert shm_results == pickled_results
+        # The shm run really took the zero-copy path; the control didn't.
+        assert shm_engine._last_shm_names
+        assert not pickled_engine._last_shm_names
+
+    def test_segments_unlinked_after_run(self, quick_config):
+        engine, _ = self._run(quick_config, shared_memory=True)
+        for name in engine._last_shm_names:
+            with pytest.raises(FileNotFoundError):
+                SharedMemory(name=name)
+
+    def test_segments_unlinked_after_worker_crash(self, quick_config):
+        engine = ExperimentEngine(workers=2, shared_memory=True)
+        with pytest.raises(RuntimeError, match="exploded"):
+            engine.run_batched(
+                "toy", _crashing_weighted_trial, quick_config, range(8),
+                params={"weights": self._BIG}, batch_size=2,
+            )
+        assert engine._last_shm_names
+        for name in engine._last_shm_names:
+            with pytest.raises(FileNotFoundError):
+                SharedMemory(name=name)
+
+    def test_small_arrays_still_pickled(self, quick_config):
+        """Below the size threshold the segment overhead isn't worth it."""
+        small = np.arange(16, dtype=np.float64)
+        engine = ExperimentEngine(workers=2, shared_memory=True)
+        results = engine.run_batched(
+            "toy", _weighted_trial, quick_config, range(8),
+            params={"weights": small}, batch_size=2,
+        )
+        assert not engine._last_shm_names
+        assert results == [float(small[k % 16]) * (k + 1) for k in range(8)]
+
+    def test_serial_path_matches_parallel_shm(self, quick_config):
+        serial = ExperimentEngine(workers=1).map(
+            "toy", _weighted_trial, quick_config, range(8),
+            params={"weights": self._BIG},
+        )
+        _, parallel = self._run(quick_config, shared_memory=True)
+        assert serial == parallel
 
 
 class TestRunnerRegistry:

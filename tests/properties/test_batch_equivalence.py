@@ -23,6 +23,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.anc.decoder import InterferenceDecoder
+from repro.backend import available_backends, get_backend, is_digest_neutral
 from repro.channel.cfo import CarrierFrequencyOffsetChannel
 from repro.channel.fading import make_fading_channel
 from repro.exceptions import ConfigurationError, DecodingError
@@ -385,3 +386,93 @@ class TestDecodeBatchEquivalence:
         _assert_batch_matches_scalar(
             batch, known, np.array(kos), np.array(uos), unknown_n_bits
         )
+
+
+# ----------------------------------------------------------------------
+# Per-backend equivalence
+# ----------------------------------------------------------------------
+
+
+class TestBackendEquivalence:
+    """Every registered compute backend honours its declared contract.
+
+    Digest-neutral backends (``numpy``, and ``numba`` — JIT or numpy
+    fallback alike) must be **bit-identical** to the scalar reference:
+    same bits, same diagnostics.  The non-neutral ``float32-fast``
+    backend instead must stay within its declared BER accuracy gate
+    against the reference bits.
+    """
+
+    @pytest.mark.parametrize(
+        "name", [n for n in available_backends() if is_digest_neutral(n)]
+    )
+    @given(spec=collision_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_digest_neutral_backends_bit_identical(self, name, spec):
+        batch, known, known_offset, unknown_offset, unknown_n_bits = (
+            _build_collision_batch(spec)
+        )
+        reference = InterferenceDecoder()
+        candidate = InterferenceDecoder(backend=name)
+        args = (known, known_offset, unknown_offset, unknown_n_bits)
+        try:
+            ref_bits, ref_diags = reference.decode_batch(batch, *args)
+        except _DECODE_ERRORS:
+            with pytest.raises(_DECODE_ERRORS):
+                candidate.decode_batch(batch, *args)
+            return
+        bits, diags = candidate.decode_batch(batch, *args)
+        assert np.array_equal(bits, ref_bits)
+        for got, expected in zip(diags, ref_diags):
+            assert got.mean_match_error == expected.mean_match_error
+            assert got.amplitude_estimate == expected.amplitude_estimate
+            assert got.reversed_decode == expected.reversed_decode
+
+    @given(spec=collision_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_float32_fast_within_accuracy_gate(self, spec):
+        batch, known, known_offset, unknown_offset, unknown_n_bits = (
+            _build_collision_batch(spec)
+        )
+        reference = InterferenceDecoder()
+        candidate = InterferenceDecoder(backend="float32-fast")
+        args = (known, known_offset, unknown_offset, unknown_n_bits)
+        try:
+            ref_bits, _ = reference.decode_batch(batch, *args)
+        except _DECODE_ERRORS:
+            # The reduced-precision path must also refuse what the
+            # reference refuses (insufficient overlap, degenerate Eq. 5-6
+            # amplitudes) rather than fabricate bits.
+            with pytest.raises(_DECODE_ERRORS):
+                candidate.decode_batch(batch, *args)
+            return
+        bits, _ = candidate.decode_batch(batch, *args)
+        gate = float(get_backend("float32-fast").accuracy_gate["max_ber_deviation"])
+        assert float(np.mean(bits != ref_bits)) <= gate
+
+    @given(bits=bit_matrices)
+    @settings(max_examples=20, deadline=None)
+    def test_digest_neutral_modem_bit_identical(self, bits):
+        reference_wave = BatchMSKModulator().modulate(bits).samples
+        for name in available_backends():
+            if not is_digest_neutral(name):
+                continue
+            wave = BatchMSKModulator(backend=name).modulate(bits).samples
+            assert np.array_equal(wave, reference_wave)
+            decoded = BatchMSKDemodulator(backend=name).demodulate(
+                SignalBatch(reference_wave)
+            )
+            assert np.array_equal(decoded, bits)
+
+    @given(bits=bit_matrices)
+    @settings(max_examples=20, deadline=None)
+    def test_float32_fast_modem_roundtrip(self, bits):
+        """Reduced precision still round-trips clean waveforms exactly.
+
+        The batch container upcasts the synthesised complex64 samples to
+        its canonical complex128 layout; the decision margins (±pi/2) are
+        orders of magnitude above float32 rounding, so the bits survive.
+        """
+        wave = BatchMSKModulator(backend="float32-fast").modulate(bits)
+        decoded = BatchMSKDemodulator(backend="float32-fast").demodulate(wave)
+        assert np.array_equal(decoded, bits)

@@ -89,6 +89,14 @@ def _figure_entry(name: str) -> ExperimentEntry:
         config: ExperimentConfig, engine: Optional[ExperimentEngine], quick: bool
     ) -> ExperimentResult:
         """Run the figure experiment (``quick`` has no figure-side effect)."""
+        overrides = config.sim_overrides()
+        if overrides:
+            raise ConfigurationError(
+                f"figure experiment {spec.name!r} ignores the traffic "
+                f"knob(s) {', '.join(sorted(overrides))}; they apply only "
+                "to the time-domain scenarios (offered_load_sweep, "
+                "queueing_delay)"
+            )
         return spec.run_result(config, engine)
 
     return ExperimentEntry(

@@ -40,6 +40,13 @@ paper-scale sweep picks up where it left off::
 semantics of the reduced-precision backend)::
 
     python -m repro.cli alice-bob --workers 8 --backend numba
+
+``--arrival-rate`` / ``--sim-duration`` / ``--mac-policy`` configure the
+event-driven traffic scenarios (and raise for every experiment that
+would ignore them)::
+
+    python -m repro.cli offered_load_sweep --quick --mac-policy scheduled
+    python -m repro.cli queueing_delay --quick --arrival-rate 0.9
 """
 
 from __future__ import annotations
@@ -54,8 +61,9 @@ from repro.backend import available_backends
 from repro.channel.fading import FADING_KINDS, FADING_MODES
 from repro.channel.impairments import ImpairmentConfig
 from repro.exceptions import ConfigurationError
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import DEFAULT_MAC_POLICY, ExperimentConfig
 from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine
+from repro.sim.mac import MAC_POLICIES
 from repro.results.model import ExperimentResult
 from repro.results.render import render_text
 
@@ -107,8 +115,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(parser)
     _add_impairment_arguments(parser)
+    _add_sim_arguments(parser)
     _add_output_arguments(parser)
     return parser
+
+
+def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the time-domain traffic flags shared by both parsers.
+
+    These only apply to the event-driven traffic scenarios
+    (``offered_load_sweep`` honours ``--sim-duration``/``--mac-policy``,
+    ``queueing_delay`` all three); setting one for any other experiment
+    is a :class:`ConfigurationError`, not a silent no-op.
+    """
+    parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=0.0,
+        help="offered load for the time-domain traffic scenarios, in "
+        "packets per frame-time over both directions (0 = the scenario "
+        "default)",
+    )
+    parser.add_argument(
+        "--sim-duration",
+        type=float,
+        default=0.0,
+        help="simulated horizon of the traffic scenarios in frame-times "
+        "(0 = the scenario default)",
+    )
+    parser.add_argument(
+        "--mac-policy",
+        choices=MAC_POLICIES,
+        default=DEFAULT_MAC_POLICY,
+        help="medium access for the traffic scenarios: 'csma' contention "
+        "with binary exponential backoff (default) or the collision-free "
+        "'scheduled' TDMA grid",
+    )
 
 
 def _add_impairment_arguments(parser: argparse.ArgumentParser) -> None:
@@ -256,6 +298,7 @@ def build_scenario_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(parser)
     _add_impairment_arguments(parser)
+    _add_sim_arguments(parser)
     _add_output_arguments(parser)
     return parser
 
@@ -269,6 +312,9 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         batch_size=args.batch_size,
         backend=args.backend,
         impairments=_impairments_from_args(args),
+        arrival_rate=args.arrival_rate,
+        sim_duration=args.sim_duration,
+        mac_policy=args.mac_policy,
     )
 
 
@@ -304,6 +350,9 @@ def _unified_config_from_args(
             rician_k_db=args.rician_k_db,
             fading_mode=args.fading_mode,
             fading_doppler=args.fading_doppler,
+            arrival_rate=args.arrival_rate,
+            sim_duration=args.sim_duration,
+            mac_policy=args.mac_policy,
         )
     )
 
@@ -323,6 +372,12 @@ def _scenario_config_from_args(args: argparse.Namespace) -> ExperimentConfig:
             ("payload_bits", args.payload_bits),
             ("batch_size", args.batch_size),
             ("backend", args.backend if args.backend != "numpy" else None),
+            ("arrival_rate", args.arrival_rate if args.arrival_rate != 0.0 else None),
+            ("sim_duration", args.sim_duration if args.sim_duration != 0.0 else None),
+            (
+                "mac_policy",
+                args.mac_policy if args.mac_policy != DEFAULT_MAC_POLICY else None,
+            ),
         )
         if value is not None
     }

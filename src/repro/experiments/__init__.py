@@ -20,9 +20,11 @@ the same engine; the shipped scenarios — :mod:`~repro.experiments.chain_sweep`
 (throughput gain vs chain length), :mod:`~repro.experiments.mesh_sweep`
 (multi-flow random meshes), :mod:`~repro.experiments.cfo_sweep` (BER vs
 carrier frequency offset), :mod:`~repro.experiments.fading_sweep` (ANC vs
-digital under Rayleigh/Rician fading) and
+digital under Rayleigh/Rician fading),
 :mod:`~repro.experiments.geometry_mesh` (path-loss meshes with placed
-nodes) — are dispatched from the CLI as
+nodes), :mod:`~repro.experiments.offered_load` (event-driven goodput vs
+offered load, §8) and :mod:`~repro.experiments.queueing_delay` (delay vs
+traffic burstiness) — are dispatched from the CLI as
 ``python -m repro.cli run <scenario>``.
 
 Both registries are merged into the single public facade
@@ -65,6 +67,8 @@ from repro.experiments import mesh_sweep as _mesh_sweep  # noqa: F401  (register
 from repro.experiments import cfo_sweep as _cfo_sweep  # noqa: F401  (registers)
 from repro.experiments import fading_sweep as _fading_sweep  # noqa: F401  (registers)
 from repro.experiments import geometry_mesh as _geometry_mesh  # noqa: F401  (registers)
+from repro.experiments import offered_load as _offered_load  # noqa: F401  (registers)
+from repro.experiments import queueing_delay as _queueing_delay  # noqa: F401  (registers)
 
 __all__ = [
     "EngineStats",

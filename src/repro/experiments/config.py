@@ -19,6 +19,11 @@ from repro.backend import DEFAULT_BACKEND, available_backends
 from repro.channel.impairments import ImpairmentConfig
 from repro.constants import DEFAULT_ANC_REDUNDANCY_OVERHEAD, PAPER_NUM_RUNS
 from repro.exceptions import ConfigurationError
+from repro.sim.mac import MAC_POLICIES
+
+#: Default MAC policy — the value at which ``mac_policy`` stays out of
+#: :meth:`ExperimentConfig.snapshot`.
+DEFAULT_MAC_POLICY = "csma"
 
 
 @dataclass(frozen=True)
@@ -77,6 +82,26 @@ class ExperimentConfig:
         ``docs/CHANNELS.md``.  The default disables everything, and a
         disabled config is excluded from :meth:`snapshot`, so
         pre-impairment digests, caches and golden fixtures stay stable.
+    arrival_rate:
+        Offered load for the time-domain traffic scenarios
+        (:mod:`repro.sim`), in packets per frame-time over both
+        directions.  ``0`` (the default) lets each scenario use its own
+        default and keeps the knob out of :meth:`snapshot`, so existing
+        digests and golden fixtures are untouched.  Fixed-trial scenarios
+        and the figure runners ignore traffic knobs entirely, so setting
+        this for one of them raises a :class:`ConfigurationError` instead
+        of silently doing nothing.
+    sim_duration:
+        Simulated horizon of the traffic scenarios, in frame-times.
+        ``0`` (the default) defers to the scenario default and stays out
+        of :meth:`snapshot`; the same set-but-unconsumed check as
+        ``arrival_rate`` applies.
+    mac_policy:
+        Medium-access policy of the traffic scenarios — one of
+        :data:`repro.sim.mac.MAC_POLICIES` (``"csma"`` contention with
+        binary exponential backoff, or the collision-free ``"scheduled"``
+        TDMA grid).  The default is omitted from :meth:`snapshot`; the
+        same set-but-unconsumed check applies.
     """
 
     runs: int = PAPER_NUM_RUNS
@@ -92,6 +117,9 @@ class ExperimentConfig:
     batch_size: int = 1
     backend: str = "numpy"
     impairments: ImpairmentConfig = ImpairmentConfig()
+    arrival_rate: float = 0.0
+    sim_duration: float = 0.0
+    mac_policy: str = DEFAULT_MAC_POLICY
 
     def __post_init__(self) -> None:
         """Validate the configured ranges."""
@@ -119,6 +147,15 @@ class ExperimentConfig:
         if not isinstance(self.impairments, ImpairmentConfig):
             raise ConfigurationError(
                 "impairments must be an ImpairmentConfig instance"
+            )
+        if self.arrival_rate < 0:
+            raise ConfigurationError("arrival_rate must be non-negative")
+        if self.sim_duration < 0:
+            raise ConfigurationError("sim_duration must be non-negative")
+        if self.mac_policy not in MAC_POLICIES:
+            raise ConfigurationError(
+                f"unknown mac policy {self.mac_policy!r}; choose from "
+                f"{', '.join(MAC_POLICIES)}"
             )
 
     # ------------------------------------------------------------------
@@ -181,7 +218,30 @@ class ExperimentConfig:
             payload.pop("impairments")
         if self.backend == DEFAULT_BACKEND:
             payload.pop("backend")
+        for knob, default in (
+            ("arrival_rate", 0.0),
+            ("sim_duration", 0.0),
+            ("mac_policy", DEFAULT_MAC_POLICY),
+        ):
+            if payload[knob] == default:
+                payload.pop(knob)
         return payload
+
+    def sim_overrides(self) -> Dict[str, Any]:
+        """The time-domain traffic knobs that differ from their defaults.
+
+        Traffic scenarios consume these; :func:`~repro.experiments.scenarios.run_scenario`
+        raises when any appear for a scenario that ignores them, so a
+        ``--arrival-rate`` flag can never be silently dropped.
+        """
+        overrides: Dict[str, Any] = {}
+        if self.arrival_rate != 0.0:
+            overrides["arrival_rate"] = self.arrival_rate
+        if self.sim_duration != 0.0:
+            overrides["sim_duration"] = self.sim_duration
+        if self.mac_policy != DEFAULT_MAC_POLICY:
+            overrides["mac_policy"] = self.mac_policy
+        return overrides
 
     @property
     def engine_batch_size(self) -> Optional[int]:

@@ -105,6 +105,13 @@ class ScenarioSpec:
     params:
         Extra keyword arguments passed to every trial (and hashed into
         the engine's cache digest), e.g. the mesh size.
+    consumes:
+        Names of the config's time-domain traffic knobs
+        (``arrival_rate`` / ``sim_duration`` / ``mac_policy``) this
+        scenario's trials actually honour.  :func:`run_scenario` raises a
+        :class:`ConfigurationError` when the config sets a knob outside
+        this set — fixed-trial scenarios would otherwise silently ignore
+        it.
     """
 
     name: str
@@ -116,6 +123,7 @@ class ScenarioSpec:
     trial_fn: ScenarioTrialFn
     quick_sweep_values: Optional[Tuple[Any, ...]] = None
     params: Mapping[str, Any] = field(default_factory=dict)
+    consumes: Tuple[str, ...] = ()
 
     def values_for(self, quick: bool) -> Tuple[Any, ...]:
         """The sweep values to run at the requested size."""
@@ -239,6 +247,13 @@ def run_scenario(
     keyed and re-ordered so the report is identical however they ran.
     """
     cfg = config if config is not None else ExperimentConfig()
+    unconsumed = sorted(set(cfg.sim_overrides()) - set(spec.consumes))
+    if unconsumed:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} ignores the traffic knob(s) "
+            f"{', '.join(unconsumed)}; they apply only to time-domain "
+            "scenarios such as offered_load_sweep / queueing_delay"
+        )
     values = spec.values_for(quick)
     keys = [(value, run) for value in values for run in range(cfg.runs)]
     cells = default_engine(engine).run_batched(

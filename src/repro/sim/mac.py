@@ -1,0 +1,153 @@
+"""MAC policies for the discrete-event traffic core.
+
+Two pluggable medium-access policies drive :mod:`repro.sim.simulation`:
+
+* :class:`CsmaBackoffMac` — carrier sense with binary exponential
+  backoff.  A node with traffic waits DIFS plus a uniformly drawn number
+  of contention slots, senses the channel, and transmits if idle.  On a
+  loss (the genie feedback the simulation provides in place of ACK
+  timers) the contention window doubles up to ``cw_max``; on success it
+  resets to ``cw_min``.  Because Alice and Bob cannot hear each other in
+  the canonical topology, carrier sense does *not* prevent their packets
+  colliding at the relay — the hidden-terminal behaviour that makes the
+  offered-load sweep interesting.
+* :class:`ScheduledMac` — the existing planner's world view as a policy:
+  a fixed TDMA slot grid whose slots are owned round-robin by the
+  configured ranks, with no contention and no backoff.  This is the
+  "optimal MAC" the paper assumes in §11.1, recast so scheduled phases
+  and CSMA contention are two instances of one interface.
+
+Both policies are deliberately state-light: the per-node mutable state is
+a tiny dataclass owned by the simulation, so policies themselves stay
+shareable and picklable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CsmaBackoffMac", "CsmaState", "MAC_POLICIES", "ScheduledMac"]
+
+#: The registered MAC policy names, in preference order.
+MAC_POLICIES: Tuple[str, ...] = ("csma", "scheduled")
+
+
+@dataclass
+class CsmaState:
+    """Per-node mutable CSMA state: contention window and retry count."""
+
+    cw: int
+    retries: int = 0
+
+
+class CsmaBackoffMac:
+    """Carrier sense + binary exponential backoff (802.11-style DCF core).
+
+    Parameters
+    ----------
+    slot_samples:
+        Duration of one contention slot, in samples.
+    difs_samples:
+        Fixed idle period sensed before the backoff countdown starts.
+    cw_min, cw_max:
+        Initial and maximum contention window (in slots); the window
+        doubles on every loss and resets on success.
+    max_retries:
+        Transmission attempts per packet before it is dropped.
+    """
+
+    policy_name = "csma"
+
+    def __init__(
+        self,
+        slot_samples: int = 32,
+        difs_samples: int = 64,
+        cw_min: int = 4,
+        cw_max: int = 64,
+        max_retries: int = 4,
+    ) -> None:
+        """Validate and store the contention parameters."""
+        if slot_samples <= 0 or difs_samples < 0:
+            raise ConfigurationError("slot/difs durations must be positive")
+        if not 1 <= cw_min <= cw_max:
+            raise ConfigurationError("need 1 <= cw_min <= cw_max")
+        if max_retries < 1:
+            raise ConfigurationError("max_retries must be at least 1")
+        self.slot_samples = int(slot_samples)
+        self.difs_samples = int(difs_samples)
+        self.cw_min = int(cw_min)
+        self.cw_max = int(cw_max)
+        self.max_retries = int(max_retries)
+
+    def fresh_state(self) -> CsmaState:
+        """Initial per-node contention state."""
+        return CsmaState(cw=self.cw_min)
+
+    def access_delay(self, state: CsmaState, rng: np.random.Generator) -> float:
+        """DIFS plus a backoff drawn uniformly from the current window."""
+        slots = int(rng.integers(0, state.cw + 1))
+        return float(self.difs_samples + slots * self.slot_samples)
+
+    def on_failure(self, state: CsmaState) -> None:
+        """Double the contention window (bounded) and count the retry."""
+        state.cw = min(state.cw * 2, self.cw_max)
+        state.retries += 1
+
+    def exhausted(self, state: CsmaState) -> bool:
+        """True when the packet has used up its transmission attempts."""
+        return state.retries >= self.max_retries
+
+    def on_success(self, state: CsmaState) -> None:
+        """Reset the window and retry count after a delivered frame."""
+        state.cw = self.cw_min
+        state.retries = 0
+
+
+class ScheduledMac:
+    """A collision-free TDMA slot grid (the planner's phases as a policy).
+
+    Parameters
+    ----------
+    slot_samples:
+        Duration of one scheduled slot (sized by the simulation to fit a
+        frame plus the worst-case ANC overlap offset and a guard).
+    n_ranks:
+        Number of round-robin slot owners; rank ``r`` owns slots
+        ``r, r + n_ranks, r + 2 n_ranks, ...``.
+    """
+
+    policy_name = "scheduled"
+
+    def __init__(self, slot_samples: int, n_ranks: int) -> None:
+        """Validate and store the slot grid geometry."""
+        if slot_samples <= 0:
+            raise ConfigurationError("slot_samples must be positive")
+        if n_ranks <= 0:
+            raise ConfigurationError("n_ranks must be positive")
+        self.slot_samples = int(slot_samples)
+        self.n_ranks = int(n_ranks)
+
+    def slot_owner(self, slot_index: int) -> int:
+        """The rank owning a slot."""
+        return int(slot_index) % self.n_ranks
+
+    def slot_start(self, slot_index: int) -> float:
+        """Absolute start time of a slot."""
+        return float(int(slot_index) * self.slot_samples)
+
+    def next_owned_slot(self, now: float, rank: int) -> float:
+        """Start time of the first slot at or after ``now`` owned by ``rank``.
+
+        ``rank`` must be one of the grid's ranks; the returned time is
+        always ``>= now``.
+        """
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigurationError(f"rank {rank} outside the slot grid")
+        current = int(np.ceil(max(now, 0.0) / self.slot_samples))
+        offset = (rank - current) % self.n_ranks
+        return self.slot_start(current + offset)

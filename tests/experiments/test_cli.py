@@ -92,6 +92,8 @@ class TestScenarioCommand:
             "cfo_sweep",
             "fading_sweep",
             "geometry_mesh",
+            "offered_load_sweep",
+            "queueing_delay",
         }
         for name in SCENARIO_NAMES:
             args = parser.parse_args([name, "--quick"])

@@ -22,6 +22,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import api
 from repro.experiments.alice_bob import run_alice_bob_experiment
 from repro.experiments.chain import run_chain_experiment
 from repro.experiments.config import ExperimentConfig
@@ -35,6 +36,10 @@ RUNNERS = {
     "fig10_x_topology": run_x_topology_experiment,
     "fig12_chain": run_chain_experiment,
 }
+
+#: Time-domain scenarios pinned as structured-result fixtures (quick
+#: sweep) by tools/make_golden.py.
+SCENARIO_FIXTURES = ("offered_load_sweep", "queueing_delay")
 
 
 def _load_fixture(name: str) -> dict:
@@ -71,6 +76,42 @@ def test_batched_run_matches_golden(name):
         f"{name} batched run drifted from the golden rendering: batching "
         "must be invisible in results"
     )
+
+
+def _scenario_fixture(scenario: str) -> dict:
+    return _load_fixture(f"scenario_{scenario}_quick")
+
+
+def _normalized(result) -> dict:
+    payload = result.to_dict()
+    payload["meta"]["engine"]["elapsed_seconds"] = 0.0
+    return payload
+
+
+@pytest.mark.parametrize("scenario", SCENARIO_FIXTURES)
+def test_scenario_serial_run_matches_golden(scenario):
+    """A serial quick sweep must reproduce the whole structured result."""
+    fixture = _scenario_fixture(scenario)
+    config = ExperimentConfig(**fixture["config"])
+    result = api.run(scenario, config=config, quick=True)
+    assert _normalized(result) == fixture, (
+        f"{scenario} drifted from its golden structured result; if the "
+        "change is intentional, regenerate with tools/make_golden.py"
+    )
+
+
+@pytest.mark.parametrize("scenario", SCENARIO_FIXTURES)
+def test_scenario_parallel_run_matches_golden(scenario):
+    """Worker fan-out must be invisible: same series, scalars and digest."""
+    fixture = _scenario_fixture(scenario)
+    config = ExperimentConfig(**fixture["config"])
+    result = api.run(
+        scenario, config=config, engine=ExperimentEngine(workers=2), quick=True
+    )
+    payload = result.to_dict()
+    assert payload["series"] == fixture["series"]
+    assert payload["scalars"] == fixture["scalars"]
+    assert payload["config_digest"] == fixture["config_digest"]
 
 
 def test_fixture_metadata_is_consistent():

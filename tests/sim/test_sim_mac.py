@@ -1,0 +1,90 @@
+"""Tests of the pluggable MAC policies (CSMA/BEB and the TDMA grid)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.mac import MAC_POLICIES, CsmaBackoffMac, ScheduledMac
+
+
+class TestRegistry:
+    def test_policy_names(self):
+        assert MAC_POLICIES == ("csma", "scheduled")
+        assert CsmaBackoffMac.policy_name == "csma"
+        assert ScheduledMac.policy_name == "scheduled"
+
+
+class TestCsmaBackoffMac:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            CsmaBackoffMac(slot_samples=0)
+        with pytest.raises(ConfigurationError):
+            CsmaBackoffMac(cw_min=8, cw_max=4)
+        with pytest.raises(ConfigurationError):
+            CsmaBackoffMac(max_retries=0)
+
+    def test_access_delay_within_window(self):
+        mac = CsmaBackoffMac(slot_samples=32, difs_samples=64, cw_min=4)
+        state = mac.fresh_state()
+        rng = np.random.default_rng(0)
+        delays = {mac.access_delay(state, rng) for _ in range(200)}
+        assert min(delays) >= 64.0
+        assert max(delays) <= 64.0 + 4 * 32.0
+        # Whole slots only: every delay is DIFS plus a multiple of the slot.
+        assert all((d - 64.0) % 32.0 == 0.0 for d in delays)
+
+    def test_binary_exponential_backoff_bounded(self):
+        mac = CsmaBackoffMac(cw_min=4, cw_max=16)
+        state = mac.fresh_state()
+        widths = []
+        for _ in range(4):
+            mac.on_failure(state)
+            widths.append(state.cw)
+        assert widths == [8, 16, 16, 16]
+        assert state.retries == 4
+
+    def test_success_resets_window(self):
+        mac = CsmaBackoffMac(cw_min=4, cw_max=64)
+        state = mac.fresh_state()
+        mac.on_failure(state)
+        mac.on_failure(state)
+        mac.on_success(state)
+        assert state.cw == 4
+        assert state.retries == 0
+
+    def test_exhaustion_after_max_retries(self):
+        mac = CsmaBackoffMac(max_retries=2)
+        state = mac.fresh_state()
+        assert not mac.exhausted(state)
+        mac.on_failure(state)
+        assert not mac.exhausted(state)
+        mac.on_failure(state)
+        assert mac.exhausted(state)
+
+
+class TestScheduledMac:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScheduledMac(slot_samples=0, n_ranks=3)
+        with pytest.raises(ConfigurationError):
+            ScheduledMac(slot_samples=100, n_ranks=0)
+
+    def test_round_robin_ownership(self):
+        mac = ScheduledMac(slot_samples=100, n_ranks=3)
+        assert [mac.slot_owner(i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+        assert mac.slot_start(4) == 400.0
+
+    def test_next_owned_slot_at_or_after_now(self):
+        mac = ScheduledMac(slot_samples=100, n_ranks=3)
+        assert mac.next_owned_slot(0.0, rank=0) == 0.0
+        assert mac.next_owned_slot(0.0, rank=2) == 200.0
+        assert mac.next_owned_slot(150.0, rank=1) == 400.0
+        for now in (0.0, 37.0, 99.9, 100.0, 512.0):
+            for rank in range(3):
+                start = mac.next_owned_slot(now, rank)
+                assert start >= now
+                assert mac.slot_owner(int(start) // 100) == rank
+
+    def test_foreign_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScheduledMac(slot_samples=100, n_ranks=3).next_owned_slot(0.0, rank=3)

@@ -38,6 +38,7 @@ DOCSTRING_PACKAGES = (
     "src/repro/results",
     "src/repro/channel",
     "src/repro/backend",
+    "src/repro/sim",
 )
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

@@ -52,6 +52,17 @@ GOLDEN_EXPERIMENTS = {
 RESULT_FIXTURE_EXPERIMENT = "alice-bob"
 RESULT_FIXTURE_NAME = "result_alice_bob_quick.json"
 
+#: Time-domain scenarios frozen as structured-result fixtures (quick
+#: sweep, serial engine).  ``tests/integration/test_golden.py`` replays
+#: them serially (full-dict identity) and with a parallel engine
+#: (series/scalars/digest identity).
+GOLDEN_SCENARIOS = ("offered_load_sweep", "queueing_delay")
+
+
+def scenario_fixture_name(scenario: str) -> str:
+    """Fixture file name for one golden scenario."""
+    return f"scenario_{scenario}_quick.json"
+
 
 def golden_config() -> ExperimentConfig:
     """The configuration the fixtures are pinned to."""
@@ -115,6 +126,14 @@ def main(argv=None) -> int:
         json.dumps(normalized_result_dict(result), indent=2, sort_keys=True) + "\n"
     )
     print(f"wrote {_describe(path)}")
+
+    for scenario in GOLDEN_SCENARIOS:
+        result = api.run(scenario, config=config, quick=True)
+        path = output_dir / scenario_fixture_name(scenario)
+        path.write_text(
+            json.dumps(normalized_result_dict(result), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {_describe(path)}")
     return 0
 
 

@@ -50,6 +50,8 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "run",
+    "run_campaign",
+    "submit",
 ]
 
 #: Signature an entry's executor satisfies: (config, engine, quick) -> result.
@@ -213,3 +215,64 @@ def run(
     result = entry.execute(cfg, eng, quick)
     elapsed = time.perf_counter() - started
     return attach_engine_meta(result, eng, eng.stats_log[mark:], elapsed)
+
+
+def run_campaign(
+    spec,
+    store=None,
+    concurrency: int = 4,
+    retries: int = 2,
+    backoff: float = 0.5,
+    progress=None,
+):
+    """Run a declarative sweep grid locally and return its report.
+
+    The facade entry into :mod:`repro.campaign`: expands ``spec``
+    (a :class:`~repro.campaign.spec.CampaignSpec`, or a mapping/JSON
+    text in its ``anc-repro.campaign/1`` wire format) into its job grid
+    and executes it on an asyncio queue with bounded ``concurrency``
+    and per-job retry.  With ``store`` set (a directory path or a
+    :class:`~repro.campaign.store.ResultStore`), completed jobs are
+    published to the content-addressed result store and a re-run
+    resumes from it — already-stored jobs are not recomputed.
+
+    Returns a :class:`~repro.campaign.runner.CampaignReport`; see
+    ``docs/CAMPAIGNS.md`` for the grid-spec format and examples.
+    """
+    from repro.campaign.runner import CampaignRunner
+    from repro.campaign.spec import CampaignSpec
+
+    if isinstance(spec, str):
+        spec = CampaignSpec.from_json(spec)
+    elif isinstance(spec, dict):
+        spec = CampaignSpec.from_dict(spec)
+    runner = CampaignRunner(
+        store=store,
+        concurrency=concurrency,
+        retries=retries,
+        backoff=backoff,
+        progress=progress,
+    )
+    return runner.run_sync(spec)
+
+
+def submit(spec, base_url: str, wait: bool = False, timeout: float = 300.0):
+    """Submit a campaign spec to a running campaign server over HTTP.
+
+    ``spec`` accepts the same forms as :func:`run_campaign`.  Returns
+    the server's status payload for the (idempotently) admitted
+    campaign; with ``wait=True`` the call polls until the campaign
+    leaves the ``running`` state (or ``timeout`` seconds pass) and
+    returns the terminal status instead.
+    """
+    from repro.campaign import client
+    from repro.campaign.spec import CampaignSpec
+
+    if isinstance(spec, str):
+        spec = CampaignSpec.from_json(spec)
+    elif isinstance(spec, dict):
+        spec = CampaignSpec.from_dict(spec)
+    status = client.submit_campaign(base_url, spec)
+    if wait:
+        return client.wait_for_campaign(base_url, status["campaign"], timeout=timeout)
+    return status

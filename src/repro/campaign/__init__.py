@@ -1,0 +1,49 @@
+"""Campaign orchestration: declarative sweep grids over the repro facade.
+
+This package turns "run one experiment" (:mod:`repro.api`) into "run a
+thousand of them, deterministically, resumably, and over the network":
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec` declares a base
+  config plus axes of parameter values; grid expansion is deterministic
+  (sorted axes, last axis fastest) and every job carries a stable
+  content digest.
+* :mod:`repro.campaign.store` — :class:`ResultStore`, a content-
+  addressed store of ``anc-repro.result/1`` documents with atomic
+  write-rename publication; safe under concurrent workers, and the
+  resume mechanism (stored digest → job skipped).
+* :mod:`repro.campaign.runner` — :class:`CampaignRunner`, the asyncio
+  job queue: bounded concurrency, per-job retry with exponential
+  backoff, in-flight dedupe by digest.
+* :mod:`repro.campaign.server` / :mod:`repro.campaign.client` — a
+  stdlib HTTP/JSON server mode (submit campaign, poll/stream progress,
+  fetch results) and the matching ``urllib`` client helpers.
+
+See ``docs/CAMPAIGNS.md`` for the user-facing guide.
+"""
+
+from repro.campaign.runner import CampaignReport, CampaignRunner, JobOutcome, execute_job
+from repro.campaign.server import CampaignServer
+from repro.campaign.spec import (
+    CAMPAIGN_SCHEMA,
+    CampaignJob,
+    CampaignSpec,
+    audit_snapshot_roundtrip,
+    job_digest,
+)
+from repro.campaign.store import NullResultStore, ResultStore, StoreStats
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CampaignJob",
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignServer",
+    "CampaignSpec",
+    "JobOutcome",
+    "NullResultStore",
+    "ResultStore",
+    "StoreStats",
+    "audit_snapshot_roundtrip",
+    "execute_job",
+    "job_digest",
+]

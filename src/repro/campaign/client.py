@@ -1,0 +1,153 @@
+"""Stdlib HTTP client helpers for the campaign server.
+
+Thin ``urllib`` wrappers over the endpoints in
+:mod:`repro.campaign.server` so the CLI, the examples and the CI smoke
+test all talk to a server the same way.  Each helper takes a base URL
+(``http://127.0.0.1:8642``), does one blocking request, and returns the
+decoded JSON payload; HTTP errors surface as
+:class:`~repro.exceptions.ConfigurationError` with the server's error
+message attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.campaign.spec import CampaignSpec
+from repro.exceptions import ConfigurationError
+from repro.results.model import ExperimentResult
+
+
+def _request(
+    url: str, data: Optional[bytes] = None, timeout: float = 30.0
+) -> Dict[str, Any]:
+    """One blocking JSON request; raises ConfigurationError on HTTP errors."""
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            payload = response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        detail = error.read().decode("utf-8", errors="replace")
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except (ValueError, AttributeError):
+            pass
+        raise ConfigurationError(
+            f"campaign server returned {error.code} for {url}: {detail}"
+        ) from None
+    except urllib.error.URLError as error:
+        raise ConfigurationError(
+            f"cannot reach campaign server at {url}: {error.reason}"
+        ) from None
+    try:
+        return json.loads(payload)
+    except ValueError as error:
+        raise ConfigurationError(
+            f"campaign server sent invalid JSON from {url}: {error}"
+        ) from None
+
+
+def server_health(base_url: str, timeout: float = 30.0) -> Dict[str, Any]:
+    """``GET /healthz`` — liveness, version and store counters."""
+    return _request(f"{base_url.rstrip('/')}/healthz", timeout=timeout)
+
+
+def submit_campaign(
+    base_url: str, spec: CampaignSpec, timeout: float = 30.0
+) -> Dict[str, Any]:
+    """``POST /campaigns`` — submit a spec; returns the campaign status.
+
+    Idempotent: resubmitting an identical spec returns the existing
+    campaign's status with ``"created": false``.
+    """
+    return _request(
+        f"{base_url.rstrip('/')}/campaigns",
+        data=spec.to_json().encode("utf-8"),
+        timeout=timeout,
+    )
+
+
+def campaign_status(
+    base_url: str, campaign_id: str, timeout: float = 30.0
+) -> Dict[str, Any]:
+    """``GET /campaigns/<id>`` — one campaign's progress counters."""
+    return _request(
+        f"{base_url.rstrip('/')}/campaigns/{campaign_id}", timeout=timeout
+    )
+
+
+def list_campaigns(base_url: str, timeout: float = 30.0) -> List[Dict[str, Any]]:
+    """``GET /campaigns`` — status of every campaign the server knows."""
+    return _request(f"{base_url.rstrip('/')}/campaigns", timeout=timeout)[
+        "campaigns"
+    ]
+
+
+def campaign_results(
+    base_url: str, campaign_id: str, timeout: float = 60.0
+) -> List[ExperimentResult]:
+    """``GET /campaigns/<id>/results`` — parsed result documents.
+
+    Each returned document is validated through
+    :meth:`ExperimentResult.from_dict`, so a malformed server response
+    fails loudly instead of flowing into analysis.
+    """
+    payload = _request(
+        f"{base_url.rstrip('/')}/campaigns/{campaign_id}/results", timeout=timeout
+    )
+    return [ExperimentResult.from_dict(doc) for doc in payload["results"]]
+
+
+def fetch_result(
+    base_url: str, digest: str, timeout: float = 30.0
+) -> ExperimentResult:
+    """``GET /results/<digest>`` — one stored result document, validated."""
+    payload = _request(f"{base_url.rstrip('/')}/results/{digest}", timeout=timeout)
+    return ExperimentResult.from_dict(payload)
+
+
+def wait_for_campaign(
+    base_url: str,
+    campaign_id: str,
+    timeout: float = 300.0,
+    poll_interval: float = 0.25,
+) -> Dict[str, Any]:
+    """Poll a campaign's status until it leaves the ``running`` state.
+
+    Returns the terminal status payload; raises ConfigurationError if
+    the deadline passes first.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        status = campaign_status(base_url, campaign_id)
+        if status["state"] != "running":
+            return status
+        if time.monotonic() >= deadline:
+            raise ConfigurationError(
+                f"campaign {campaign_id} still running after {timeout:.0f}s "
+                f"({status['pending']} of {status['total']} job(s) pending)"
+            )
+        time.sleep(poll_interval)
+
+
+def wait_for_server(
+    base_url: str, timeout: float = 30.0, poll_interval: float = 0.1
+) -> Dict[str, Any]:
+    """Poll ``/healthz`` until the server answers (startup handshake)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return server_health(base_url, timeout=poll_interval + 1.0)
+        except ConfigurationError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(poll_interval)

@@ -1,0 +1,533 @@
+"""Long-running campaign server: HTTP/JSON over ``asyncio.start_server``.
+
+The "serve experiments, not runs" posture: a single process owns a
+shared :class:`~repro.campaign.store.ResultStore` and a
+:class:`~repro.campaign.runner.CampaignRunner`, accepts campaign specs
+over HTTP, runs them under one global concurrency bound, and serves
+progress and results to any number of concurrent clients.  Everything is
+stdlib — a deliberately small HTTP/1.1 subset (request line, headers,
+``Content-Length`` bodies, ``Connection: close``) parsed directly off
+the asyncio streams.
+
+Endpoints (all JSON; see ``docs/CAMPAIGNS.md`` for examples):
+
+=====================================  =====================================
+``GET  /healthz``                      liveness + version + store counters
+``POST /campaigns``                    submit a spec; idempotent by content
+``GET  /campaigns``                    status of every known campaign
+``GET  /campaigns/<id>``               one campaign's status/progress
+``GET  /campaigns/<id>/results``       completed results (result/1 docs)
+``GET  /campaigns/<id>/events``        NDJSON progress stream until done
+``GET  /results/<digest>``             one stored result document
+=====================================  =====================================
+
+Admission control: campaigns are *content-addressed* — resubmitting a
+spec returns the existing campaign instead of queueing the grid twice —
+and a submission whose jobs would push the server's pending total past
+``max_pending_jobs`` is refused with 503 rather than buffered without
+bound (the CAC/backpressure framing in the ROADMAP: shed at admission,
+don't collapse under queueing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro
+from repro.campaign.runner import CampaignRunner, ProgressFn
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.exceptions import ConfigurationError
+
+#: Largest request body the server will read (a spec, not a dataset).
+MAX_BODY_BYTES = 4 << 20
+
+#: Campaign lifecycle states.
+CAMPAIGN_STATES = ("running", "completed", "failed")
+
+
+@dataclass
+class CampaignState:
+    """Server-side bookkeeping of one submitted campaign.
+
+    Attributes
+    ----------
+    campaign_id:
+        Content id of the spec (:meth:`CampaignSpec.campaign_id`).
+    spec:
+        The submitted spec.
+    total:
+        Jobs in the grid.
+    digests:
+        Per-job content digests, in grid order (result-store keys).
+    state:
+        ``"running"`` until every job is terminal, then ``"completed"``
+        (or ``"failed"`` if any job exhausted its retries).
+    counters:
+        Terminal-job counts so far: completed / cached / failed.
+    submitted_at:
+        Server-clock submission timestamp (seconds).
+    subscribers:
+        Event queues of the currently connected ``/events`` streams.
+    task:
+        The asyncio task driving the campaign.
+    """
+
+    campaign_id: str
+    spec: CampaignSpec
+    total: int
+    digests: List[str]
+    state: str = "running"
+    counters: Dict[str, int] = field(
+        default_factory=lambda: {"completed": 0, "cached": 0, "failed": 0}
+    )
+    submitted_at: float = 0.0
+    subscribers: List["asyncio.Queue[Optional[Dict[str, Any]]]"] = field(
+        default_factory=list
+    )
+    task: Optional["asyncio.Task[Any]"] = None
+
+    @property
+    def done_jobs(self) -> int:
+        """Jobs in a terminal state so far."""
+        return sum(self.counters.values())
+
+    @property
+    def pending_jobs(self) -> int:
+        """Jobs not yet terminal (what admission control sums)."""
+        return max(0, self.total - self.done_jobs)
+
+    def status(self) -> Dict[str, Any]:
+        """JSON-ready status payload (the ``GET /campaigns/<id>`` body)."""
+        return {
+            "campaign": self.campaign_id,
+            "name": self.spec.name,
+            "experiment": self.spec.experiment,
+            "quick": self.spec.quick,
+            "state": self.state,
+            "total": self.total,
+            "completed": self.counters["completed"],
+            "cached": self.counters["cached"],
+            "failed": self.counters["failed"],
+            "pending": self.pending_jobs,
+            "submitted_at": self.submitted_at,
+        }
+
+
+class CampaignServer:
+    """Serves campaign submission, progress and results over HTTP/JSON.
+
+    Parameters
+    ----------
+    store:
+        The shared result store (path or instance) every campaign reads
+        from and publishes to.
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`port` after
+        :meth:`start`).
+    concurrency:
+        Global bound on jobs in flight across *all* campaigns.
+    retries / backoff:
+        Per-job retry policy (see :class:`CampaignRunner`).
+    max_pending_jobs:
+        Admission bound: a submission is refused with 503 when the
+        pending-job total (queued + running, across campaigns) would
+        exceed this.
+    job_fn:
+        Injectable job executor (tests).
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        concurrency: int = 2,
+        retries: int = 1,
+        backoff: float = 0.5,
+        max_pending_jobs: int = 10_000,
+        job_fn: Any = None,
+    ) -> None:
+        """Wire the server's store, runner and admission policy."""
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        self.host = host
+        self.port = int(port)
+        if int(max_pending_jobs) < 1:
+            raise ConfigurationError("max_pending_jobs must be a positive integer")
+        self.max_pending_jobs = int(max_pending_jobs)
+        self.runner = CampaignRunner(
+            store=self.store,
+            concurrency=concurrency,
+            retries=retries,
+            backoff=backoff,
+            job_fn=job_fn,
+        )
+        self._campaigns: Dict[str, CampaignState] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket (resolves ``port`` when it was 0)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            self.port = sock.getsockname()[1]
+            break
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop listening and cancel every running campaign task."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for state in self._campaigns.values():
+            if state.task is not None and not state.task.done():
+                state.task.cancel()
+
+    # ------------------------------------------------------------------
+    # Campaign management
+    # ------------------------------------------------------------------
+    def pending_jobs(self) -> int:
+        """Pending (queued + running) jobs across every campaign."""
+        return sum(state.pending_jobs for state in self._campaigns.values())
+
+    def submit(self, spec: CampaignSpec) -> Tuple[CampaignState, bool]:
+        """Admit one campaign; returns ``(state, created)``.
+
+        Idempotent: a spec whose content id is already known returns the
+        existing campaign (whatever its state) — duplicate work is shed
+        at the door.  New campaigns are admitted only while the pending
+        total stays within ``max_pending_jobs``.
+        """
+        campaign_id = spec.campaign_id()
+        existing = self._campaigns.get(campaign_id)
+        if existing is not None:
+            return existing, False
+        jobs = spec.jobs()  # validates the grid before admission
+        if self.pending_jobs() + len(jobs) > self.max_pending_jobs:
+            raise OverloadedError(
+                f"admission refused: {len(jobs)} new job(s) would exceed the "
+                f"pending bound of {self.max_pending_jobs}"
+            )
+        state = CampaignState(
+            campaign_id=campaign_id,
+            spec=spec,
+            total=len(jobs),
+            digests=[job.digest for job in jobs],
+            submitted_at=time.time(),
+        )
+        self._campaigns[campaign_id] = state
+        state.task = asyncio.get_running_loop().create_task(
+            self._drive_campaign(state, jobs)
+        )
+        return state, True
+
+    def _progress_for(self, state: CampaignState) -> ProgressFn:
+        """Progress callback updating one campaign's counters/subscribers."""
+
+        def progress(event: Dict[str, Any]) -> None:
+            """Count terminal transitions and fan the event to subscribers."""
+            kind = event.get("event")
+            if kind in state.counters:
+                state.counters[kind] += 1  # terminal transitions only
+            payload = {"campaign": state.campaign_id, **event}
+            for queue in list(state.subscribers):
+                try:
+                    queue.put_nowait(payload)
+                except asyncio.QueueFull:  # slow consumer: drop, don't block
+                    pass
+
+        return progress
+
+    async def _drive_campaign(self, state: CampaignState, jobs: List[Any]) -> None:
+        """Run one admitted campaign and settle its terminal state."""
+        try:
+            report = await self.runner.run_jobs(
+                state.spec, jobs, progress=self._progress_for(state)
+            )
+            state.state = "failed" if report.failed else "completed"
+        except asyncio.CancelledError:
+            state.state = "failed"
+            raise
+        except Exception:  # defensive: a driver bug must not hang clients
+            state.state = "failed"
+        finally:
+            for queue in list(state.subscribers):
+                try:
+                    queue.put_nowait(None)  # end-of-stream sentinel
+                except asyncio.QueueFull:
+                    pass
+
+    def get_campaign(self, campaign_id: str) -> CampaignState:
+        """Look up one campaign or raise :class:`NotFoundError`."""
+        try:
+            return self._campaigns[campaign_id]
+        except KeyError:
+            raise NotFoundError(f"unknown campaign {campaign_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Parse one request, dispatch it, always close the connection."""
+        try:
+            method, target, headers = await self._read_head(reader)
+            body = await self._read_body(reader, headers)
+            await self._dispatch(method, target, body, writer)
+        except HTTPError as error:
+            await self._send_json(
+                writer, error.status, {"error": str(error)}
+            )
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # client went away mid-request/response
+        except Exception as error:  # defensive: one bad request != dead server
+            try:
+                await self._send_json(writer, 500, {"error": f"internal error: {error}"})
+            except OSError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read_head(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[str, str, Dict[str, str]]:
+        """Read and parse the request line + headers."""
+        raw = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=30.0)
+        head = raw.decode("latin-1").split("\r\n")
+        parts = head[0].split()
+        if len(parts) != 3:
+            raise HTTPError(400, f"malformed request line {head[0]!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for line in head[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), target, headers
+
+    @staticmethod
+    async def _read_body(
+        reader: asyncio.StreamReader, headers: Dict[str, str]
+    ) -> bytes:
+        """Read a ``Content-Length`` body (bounded)."""
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HTTPError(413, f"request body of {length} bytes refused")
+        if length == 0:
+            return b""
+        return await asyncio.wait_for(reader.readexactly(length), timeout=60.0)
+
+    @staticmethod
+    async def _send_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        """Write one complete HTTP/1.1 response (connection closes after)."""
+        reason = {
+            200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable",
+        }.get(status, "OK")
+        head = [f"HTTP/1.1 {status} {reason}"]
+        head.append(f"Content-Type: {content_type}")
+        head.append(f"Content-Length: {len(body)}")
+        head.append("Connection: close")
+        for name, value in extra_headers:
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any
+    ) -> None:
+        """Serialize and send one JSON response."""
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        await self._send_response(writer, status, body)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, target: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        """Route one request to its endpoint handler."""
+        path = target.split("?", 1)[0]
+        segments = [part for part in path.split("/") if part]
+        if path == "/healthz" and method == "GET":
+            await self._send_json(writer, 200, {
+                "status": "ok",
+                "version": getattr(repro, "__version__", "0"),
+                "campaigns": len(self._campaigns),
+                "pending_jobs": self.pending_jobs(),
+                "store": self.store.stats.as_dict(),
+            })
+            return
+        if segments[:1] == ["campaigns"]:
+            await self._dispatch_campaigns(method, segments[1:], body, writer)
+            return
+        if segments[:1] == ["results"] and len(segments) == 2 and method == "GET":
+            raw = self.store.get_raw(segments[1])
+            if raw is None:
+                raise NotFoundError(f"no stored result for digest {segments[1]!r}")
+            await self._send_response(writer, 200, raw.encode("utf-8"))
+            return
+        raise HTTPError(404, f"no such endpoint: {method} {path}")
+
+    async def _dispatch_campaigns(
+        self,
+        method: str,
+        rest: List[str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Handle the ``/campaigns...`` endpoint family."""
+        if not rest:
+            if method == "POST":
+                await self._handle_submit(body, writer)
+                return
+            if method == "GET":
+                await self._send_json(writer, 200, {
+                    "campaigns": [
+                        state.status() for state in self._campaigns.values()
+                    ],
+                })
+                return
+            raise HTTPError(405, f"{method} not allowed on /campaigns")
+        state = self.get_campaign(rest[0])
+        if len(rest) == 1 and method == "GET":
+            await self._send_json(writer, 200, state.status())
+            return
+        if len(rest) == 2 and method == "GET" and rest[1] == "results":
+            await self._handle_results(state, writer)
+            return
+        if len(rest) == 2 and method == "GET" and rest[1] == "events":
+            await self._handle_events(state, writer)
+            return
+        raise HTTPError(404, f"no such campaign endpoint: {'/'.join(rest[1:])}")
+
+    async def _handle_submit(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        """POST /campaigns — parse, admit (or dedupe), answer with status."""
+        try:
+            spec = CampaignSpec.from_json(body.decode("utf-8"))
+        except (UnicodeDecodeError, ConfigurationError) as error:
+            raise HTTPError(400, f"bad campaign spec: {error}") from None
+        try:
+            state, created = self.submit(spec)
+        except OverloadedError:
+            raise
+        except ConfigurationError as error:
+            raise HTTPError(400, f"bad campaign spec: {error}") from None
+        payload = state.status()
+        payload["created"] = created
+        await self._send_json(writer, 202 if created else 200, payload)
+
+    async def _handle_results(
+        self, state: CampaignState, writer: asyncio.StreamWriter
+    ) -> None:
+        """GET /campaigns/<id>/results — every stored result of the grid.
+
+        Results are streamed from the store *documents*, so the response
+        is exactly the ``anc-repro.result/1`` JSON each job produced;
+        jobs not yet (or never) completed are listed under ``missing``.
+        """
+        documents: List[Any] = []
+        missing: List[str] = []
+        for digest in state.digests:
+            raw = self.store.get_raw(digest)
+            if raw is None:
+                missing.append(digest)
+            else:
+                documents.append(json.loads(raw))
+        await self._send_json(writer, 200, {
+            "campaign": state.campaign_id,
+            "state": state.state,
+            "results": documents,
+            "missing": missing,
+        })
+
+    async def _handle_events(
+        self, state: CampaignState, writer: asyncio.StreamWriter
+    ) -> None:
+        """GET /campaigns/<id>/events — stream NDJSON progress until done."""
+        queue: "asyncio.Queue[Optional[Dict[str, Any]]]" = asyncio.Queue(maxsize=4096)
+        state.subscribers.append(queue)
+        try:
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1"))
+            writer.write((json.dumps(state.status()) + "\n").encode("utf-8"))
+            await writer.drain()
+            if state.state != "running":
+                return
+            while True:
+                event = await queue.get()
+                if event is None:
+                    writer.write((json.dumps(state.status()) + "\n").encode("utf-8"))
+                    await writer.drain()
+                    return
+                writer.write((json.dumps(event) + "\n").encode("utf-8"))
+                await writer.drain()
+        finally:
+            if queue in state.subscribers:
+                state.subscribers.remove(queue)
+
+
+class HTTPError(ConfigurationError):
+    """A request error with an HTTP status attached."""
+
+    def __init__(self, status: int, message: str) -> None:
+        """Bind the status code to the error message."""
+        super().__init__(message)
+        self.status = int(status)
+
+
+class NotFoundError(HTTPError):
+    """404 — the named campaign/result does not exist."""
+
+    def __init__(self, message: str) -> None:
+        """A 404 with the given message."""
+        super().__init__(404, message)
+
+
+class OverloadedError(HTTPError):
+    """503 — admission control refused the submission."""
+
+    def __init__(self, message: str) -> None:
+        """A 503 with the given message."""
+        super().__init__(503, message)

@@ -47,6 +47,14 @@ would ignore them)::
 
     python -m repro.cli offered_load_sweep --quick --mac-policy scheduled
     python -m repro.cli queueing_delay --quick --arrival-rate 0.9
+
+The ``campaign`` subcommand family drives declarative sweep grids
+(:mod:`repro.campaign`, documented in ``docs/CAMPAIGNS.md``)::
+
+    python -m repro.cli campaign run grid.json --store results/
+    python -m repro.cli campaign serve --store results/ --port 8642
+    python -m repro.cli campaign submit grid.json --url http://127.0.0.1:8642 --wait
+    python -m repro.cli campaign status --url http://127.0.0.1:8642
 """
 
 from __future__ import annotations
@@ -421,6 +429,235 @@ def _emit(result: ExperimentResult, args: argparse.Namespace) -> None:
         sys.stdout.write(payload)
 
 
+def build_campaign_parser() -> argparse.ArgumentParser:
+    """Construct the parser of the ``campaign`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="anc-repro campaign",
+        description="Run, serve and query declarative sweep-grid campaigns "
+        "(see docs/CAMPAIGNS.md for the grid-spec format and the server's "
+        "HTTP/JSON endpoints).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="expand a grid spec and run it locally on the asyncio queue"
+    )
+    run_parser.add_argument(
+        "spec", help="path to the campaign spec JSON ('-' reads stdin)"
+    )
+    run_parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help="content-addressed result-store directory; completed jobs are "
+        "published there and a re-run resumes from it (default: no store)",
+    )
+    run_parser.add_argument(
+        "--shard-index",
+        type=int,
+        default=0,
+        help="this worker's shard (0-based, round-robin over the grid)",
+    )
+    run_parser.add_argument(
+        "--shard-count",
+        type=int,
+        default=1,
+        help="total workers sharding the grid (default 1 = whole grid)",
+    )
+    _add_campaign_runner_arguments(run_parser)
+    run_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format: human-readable summary (default) or JSON",
+    )
+    run_parser.add_argument(
+        "--output", type=str, default=None, help="write the report to this file"
+    )
+
+    serve_parser = commands.add_parser(
+        "serve", help="start the long-running HTTP/JSON campaign server"
+    )
+    serve_parser.add_argument(
+        "--store",
+        type=str,
+        required=True,
+        help="content-addressed result-store directory the server publishes to",
+    )
+    serve_parser.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8642, help="bind port (default 8642; 0 = pick free)"
+    )
+    serve_parser.add_argument(
+        "--max-pending-jobs",
+        type=int,
+        default=10_000,
+        help="admission bound: refuse submissions (HTTP 503) that would "
+        "push the pending-job total past this (default 10000)",
+    )
+    _add_campaign_runner_arguments(serve_parser)
+
+    submit_parser = commands.add_parser(
+        "submit", help="submit a grid spec to a running campaign server"
+    )
+    submit_parser.add_argument(
+        "spec", help="path to the campaign spec JSON ('-' reads stdin)"
+    )
+    _add_campaign_url_argument(submit_parser)
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the campaign finishes and report the terminal status",
+    )
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="--wait deadline in seconds (default 300)",
+    )
+
+    status_parser = commands.add_parser(
+        "status", help="query a campaign server for campaign progress"
+    )
+    status_parser.add_argument(
+        "campaign",
+        nargs="?",
+        default=None,
+        help="campaign id to query (default: every campaign the server knows)",
+    )
+    _add_campaign_url_argument(status_parser)
+    return parser
+
+
+def _add_campaign_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the job-queue knobs shared by ``campaign run`` and ``serve``."""
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="jobs in flight at once on the asyncio queue (default 4)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per failing job before it counts as failed "
+        "(default 2)",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        help="base retry delay in seconds, doubling per attempt (default 0.5)",
+    )
+
+
+def _add_campaign_url_argument(parser: argparse.ArgumentParser) -> None:
+    """Add the server-address flag of the client-side campaign commands."""
+    parser.add_argument(
+        "--url",
+        type=str,
+        default="http://127.0.0.1:8642",
+        help="campaign server base URL (default http://127.0.0.1:8642)",
+    )
+
+
+def _load_campaign_spec(path: str):
+    """Read a campaign spec from a JSON file (or stdin for ``-``)."""
+    from repro.campaign.spec import CampaignSpec
+
+    text = sys.stdin.read() if path == "-" else Path(path).read_text()
+    return CampaignSpec.from_json(text)
+
+
+def run_campaign_main(argv: List[str]) -> int:
+    """Entry point of the ``campaign`` subcommand; returns an exit code."""
+    import json as _json
+
+    args = build_campaign_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            from repro.campaign.runner import CampaignRunner
+
+            spec = _load_campaign_spec(args.spec)
+            runner = CampaignRunner(
+                store=args.store,
+                concurrency=args.concurrency,
+                retries=args.retries,
+                backoff=args.backoff,
+            )
+            report = runner.run_sync(
+                spec, shard_index=args.shard_index, shard_count=args.shard_count
+            )
+            text = (
+                _json.dumps(report.as_dict(), indent=2)
+                if args.format == "json"
+                else report.summary()
+            )
+            payload = text if text.endswith("\n") else text + "\n"
+            if args.output is not None:
+                Path(args.output).write_text(payload)
+            else:
+                sys.stdout.write(payload)
+            return 1 if report.failed else 0
+        if args.command == "serve":
+            import asyncio
+
+            from repro.campaign.server import CampaignServer
+
+            server = CampaignServer(
+                store=args.store,
+                host=args.host,
+                port=args.port,
+                concurrency=args.concurrency,
+                retries=args.retries,
+                backoff=args.backoff,
+                max_pending_jobs=args.max_pending_jobs,
+            )
+
+            async def _serve() -> None:
+                """Bind, announce the resolved port, and serve until killed."""
+                await server.start()
+                print(
+                    f"anc-repro campaign server on http://{server.host}:{server.port} "
+                    f"(store: {args.store})",
+                    flush=True,
+                )
+                await server.serve_forever()
+
+            try:
+                asyncio.run(_serve())
+            except KeyboardInterrupt:
+                pass
+            return 0
+        if args.command == "submit":
+            from repro.campaign import client
+
+            spec = _load_campaign_spec(args.spec)
+            status = client.submit_campaign(args.url, spec)
+            if args.wait:
+                status = client.wait_for_campaign(
+                    args.url, status["campaign"], timeout=args.timeout
+                )
+            sys.stdout.write(_json.dumps(status, indent=2) + "\n")
+            return 1 if status["state"] == "failed" else 0
+        if args.command == "status":
+            from repro.campaign import client
+
+            if args.campaign is not None:
+                payload = client.campaign_status(args.url, args.campaign)
+            else:
+                payload = {"campaigns": client.list_campaigns(args.url)}
+            sys.stdout.write(_json.dumps(payload, indent=2) + "\n")
+            return 0
+        raise ConfigurationError(f"unknown campaign command {args.command!r}")
+    except (ConfigurationError, OSError) as error:
+        print(f"anc-repro: error: {error}", file=sys.stderr)
+        return 2
+
+
 def run_scenario_main(argv: List[str]) -> int:
     """Entry point of the ``run`` subcommand; returns a process exit code."""
     args = build_scenario_parser().parse_args(argv)
@@ -440,6 +677,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = list(argv) if argv is not None else sys.argv[1:]
     if arguments and arguments[0] == "run":
         return run_scenario_main(arguments[1:])
+    if arguments and arguments[0] == "campaign":
+        return run_campaign_main(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
     try:

@@ -10,8 +10,8 @@ published workload for users with time to spare.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, replace
-from typing import Any, Dict, Optional, Tuple
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -197,6 +197,52 @@ class ExperimentConfig:
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    #: Fields whose canonical in-config type is a tuple; JSON (and hence
+    #: campaign spec files / snapshots read back from disk) carries them
+    #: as lists, so :meth:`coerce_field` converts on the way in.
+    _TUPLE_FIELDS = ("snr_db_range", "overlap_range")
+
+    @classmethod
+    def coerce_field(cls, name: str, value: Any) -> Any:
+        """Coerce one JSON-carried field value to its canonical type.
+
+        ``snapshot()`` output is JSON-shaped: tuples become lists and the
+        nested :class:`ImpairmentConfig` becomes a plain dict.  Dataclass
+        equality is type-sensitive, so reading those values back without
+        coercion would build a config that compares *unequal* to the one
+        snapshotted — and, worse, digests differently.  This is the single
+        place the inverse conversions live.
+        """
+        if name in cls._TUPLE_FIELDS and isinstance(value, (list, tuple)):
+            return tuple(value)
+        if name == "impairments" and isinstance(value, Mapping):
+            return ImpairmentConfig(**dict(value))
+        return value
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "ExperimentConfig":
+        """Inverse of :meth:`snapshot`: rebuild an equal config.
+
+        Fields the snapshot omitted (disabled impairments, the default
+        backend, default traffic knobs) come back at their defaults —
+        exactly the values whose omission :meth:`snapshot` guarantees —
+        so ``from_snapshot(cfg.snapshot()) == cfg`` holds for every
+        config.  The campaign layer's content-addressed digests rely on
+        that round-trip being exact
+        (:func:`repro.campaign.spec.audit_snapshot_roundtrip`), and
+        unknown keys are rejected rather than dropped so a typo in a
+        campaign spec never silently runs the default.
+        """
+        payload = dict(snapshot)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown config field(s) in snapshot: {', '.join(unknown)}; "
+                f"valid fields are {', '.join(sorted(known))}"
+            )
+        return cls(**{name: cls.coerce_field(name, value) for name, value in payload.items()})
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready dict of the config fields.

@@ -1,0 +1,264 @@
+"""Tests for the asyncio campaign runner: retries, dedupe, resume."""
+
+import threading
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.exceptions import ConfigurationError
+from repro.results.model import ExperimentResult
+
+
+def toy_spec(seeds=(1, 2, 3, 4), **overrides):
+    """A tiny alice-bob grid; tests inject job_fn so nothing real runs."""
+    kwargs = dict(
+        experiment="alice-bob",
+        base={"runs": 1, "packets_per_run": 2, "payload_bits": 64},
+        axes={"seed": tuple(seeds)},
+        quick=True,
+        name="runner-unit",
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def fake_result(job):
+    """A schema-valid stand-in for a computed experiment result."""
+    return ExperimentResult(
+        name=job.experiment,
+        kind="figure",
+        config=job.config.snapshot(),
+        scalars={"seed": float(job.config.seed)},
+    )
+
+
+class TestPolicyValidation:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignRunner(concurrency=0)
+        with pytest.raises(ConfigurationError):
+            CampaignRunner(retries=-1)
+        with pytest.raises(ConfigurationError):
+            CampaignRunner(backoff=-0.1)
+
+
+class TestExecution:
+    def test_all_jobs_complete_and_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = CampaignRunner(store=store, concurrency=2, job_fn=fake_result)
+        report = runner.run_sync(toy_spec())
+        assert report.completed == 4 and report.cached == 0 and report.failed == 0
+        assert len(store.digests()) == 4
+
+    def test_concurrency_bound_respected(self, tmp_path):
+        active = {"now": 0, "peak": 0}
+        lock = threading.Lock()
+
+        def tracked(job):
+            with lock:
+                active["now"] += 1
+                active["peak"] = max(active["peak"], active["now"])
+            try:
+                return fake_result(job)
+            finally:
+                with lock:
+                    active["now"] -= 1
+
+        runner = CampaignRunner(store=tmp_path, concurrency=2, job_fn=tracked)
+        report = runner.run_sync(toy_spec(seeds=tuple(range(1, 9))))
+        assert report.completed == 8
+        assert active["peak"] <= 2
+
+    def test_results_recorded_in_grid_order(self, tmp_path):
+        runner = CampaignRunner(store=tmp_path, concurrency=4, job_fn=fake_result)
+        report = runner.run_sync(toy_spec())
+        assert [o.job.index for o in report.outcomes] == [0, 1, 2, 3]
+
+
+class TestRetries:
+    def test_flaky_job_retried_to_success(self, tmp_path):
+        calls = {}
+        lock = threading.Lock()
+
+        def flaky(job):
+            with lock:
+                calls[job.digest] = calls.get(job.digest, 0) + 1
+                attempt = calls[job.digest]
+            if job.config.seed == 2 and attempt < 3:
+                raise RuntimeError(f"injected failure {attempt}")
+            return fake_result(job)
+
+        events = []
+        runner = CampaignRunner(
+            store=tmp_path, concurrency=2, retries=2, backoff=0.0,
+            job_fn=flaky, progress=events.append,
+        )
+        report = runner.run_sync(toy_spec(seeds=(1, 2)))
+        assert report.completed == 2 and report.failed == 0
+        flaky_outcome = next(o for o in report.outcomes if o.job.config.seed == 2)
+        assert flaky_outcome.attempts == 3
+        retries = [e for e in events if e["event"] == "retry"]
+        assert len(retries) == 2
+        assert "injected failure" in retries[0]["error"]
+
+    def test_exhausted_retries_fail_without_sinking_campaign(self, tmp_path):
+        def doomed(job):
+            if job.config.seed == 2:
+                raise RuntimeError("always broken")
+            return fake_result(job)
+
+        store = ResultStore(tmp_path)
+        runner = CampaignRunner(
+            store=store, concurrency=2, retries=1, backoff=0.0, job_fn=doomed
+        )
+        report = runner.run_sync(toy_spec(seeds=(1, 2, 3)))
+        assert report.completed == 2 and report.failed == 1
+        failure = report.failures()[0]
+        assert failure.attempts == 2
+        assert "always broken" in failure.error
+        # The failed job must not be stored (a re-run retries it).
+        assert len(store.digests()) == 2
+
+    def test_backoff_doubles(self, tmp_path):
+        events = []
+
+        def doomed(job):
+            raise RuntimeError("nope")
+
+        runner = CampaignRunner(
+            store=tmp_path, concurrency=1, retries=2, backoff=0.01,
+            job_fn=doomed, progress=events.append,
+        )
+        report = runner.run_sync(toy_spec(seeds=(1,)))
+        assert report.failed == 1
+        delays = [e["delay_seconds"] for e in events if e["event"] == "retry"]
+        assert delays == [0.01, 0.02]
+
+
+class TestResume:
+    def test_rerun_serves_everything_from_store(self, tmp_path):
+        runner = CampaignRunner(store=tmp_path, concurrency=2, job_fn=fake_result)
+        assert runner.run_sync(toy_spec()).completed == 4
+
+        def must_not_run(job):
+            raise AssertionError("stored job was recomputed")
+
+        rerun = CampaignRunner(store=tmp_path, concurrency=2, job_fn=must_not_run)
+        report = rerun.run_sync(toy_spec())
+        assert report.cached == 4 and report.completed == 0 and report.failed == 0
+
+    def test_thousand_job_resume_zero_recompute(self, tmp_path):
+        # The acceptance criterion: a killed 1000-job campaign re-run
+        # completes with zero recomputation.  The store is pre-populated
+        # (as if the first run finished all jobs before dying) and the
+        # injected executor asserts nothing executes.
+        spec = toy_spec(seeds=tuple(range(1, 1001)))
+        jobs = spec.jobs()
+        assert len(jobs) == 1000
+        store = ResultStore(tmp_path)
+        for job in jobs:
+            store.put(job.digest, fake_result(job))
+
+        def must_not_run(job):
+            raise AssertionError("stored job was recomputed")
+
+        runner = CampaignRunner(store=tmp_path, concurrency=8, job_fn=must_not_run)
+        report = runner.run_sync(spec)
+        assert report.total == 1000
+        assert report.cached == 1000 and report.completed == 0 and report.failed == 0
+        # Store accounting: 1000 hits for this handle, zero new puts.
+        assert report.store_stats["hits"] == 1000
+        assert report.store_stats["puts"] == 0
+
+    def test_partial_store_computes_only_the_gap(self, tmp_path):
+        spec = toy_spec(seeds=tuple(range(1, 11)))
+        jobs = spec.jobs()
+        store = ResultStore(tmp_path)
+        for job in jobs[:7]:
+            store.put(job.digest, fake_result(job))
+        executed = []
+        lock = threading.Lock()
+
+        def counting(job):
+            with lock:
+                executed.append(job.config.seed)
+            return fake_result(job)
+
+        runner = CampaignRunner(store=tmp_path, concurrency=4, job_fn=counting)
+        report = runner.run_sync(spec)
+        assert report.cached == 7 and report.completed == 3
+        assert sorted(executed) == [j.config.seed for j in jobs[7:]]
+
+
+class TestInFlightDedupe:
+    def test_overlapping_campaigns_share_execution(self, tmp_path):
+        import asyncio
+
+        executions = []
+        lock = threading.Lock()
+        gate = threading.Event()
+
+        def slow(job):
+            with lock:
+                executions.append(job.digest)
+            gate.wait(5.0)
+            return fake_result(job)
+
+        runner = CampaignRunner(store=tmp_path, concurrency=4, job_fn=slow)
+        spec = toy_spec(seeds=(1, 2))
+
+        async def overlapping():
+            first = asyncio.ensure_future(runner.run(spec))
+            await asyncio.sleep(0.2)  # let campaign one start executing
+            second = asyncio.ensure_future(runner.run(spec))
+            await asyncio.sleep(0.2)
+            gate.set()
+            return await asyncio.gather(first, second)
+
+        report1, report2 = asyncio.run(overlapping())
+        assert report1.completed == 2
+        # Campaign two shared the in-flight executions: nothing ran twice.
+        assert len(executions) == 2
+        assert report2.cached == 2 and report2.completed == 0
+
+    def test_shared_failure_propagates(self, tmp_path):
+        import asyncio
+
+        gate = threading.Event()
+
+        def doomed(job):
+            gate.wait(5.0)
+            raise RuntimeError("shared crash")
+
+        runner = CampaignRunner(
+            store=tmp_path, concurrency=4, retries=0, backoff=0.0, job_fn=doomed
+        )
+        spec = toy_spec(seeds=(1,))
+
+        async def overlapping():
+            first = asyncio.ensure_future(runner.run(spec))
+            await asyncio.sleep(0.2)
+            second = asyncio.ensure_future(runner.run(spec))
+            await asyncio.sleep(0.2)
+            gate.set()
+            return await asyncio.gather(first, second)
+
+        report1, report2 = asyncio.run(overlapping())
+        assert report1.failed == 1
+        assert report2.failed == 1
+        assert "shared" in report2.failures()[0].error
+
+
+class TestReport:
+    def test_report_shapes(self, tmp_path):
+        runner = CampaignRunner(store=tmp_path, concurrency=2, job_fn=fake_result)
+        report = runner.run_sync(toy_spec(seeds=(1, 2)))
+        payload = report.as_dict()
+        assert payload["total"] == 2
+        assert payload["campaign"] == toy_spec(seeds=(1, 2)).campaign_id()
+        assert len(payload["jobs"]) == 2
+        assert "campaign runner-unit" in report.summary()
+        with pytest.raises(ConfigurationError):
+            report.count("bogus")

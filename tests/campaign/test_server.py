@@ -1,0 +1,165 @@
+"""Tests for the campaign HTTP/JSON server: live round-trips over a socket."""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign import client
+from repro.campaign.server import CampaignServer
+from repro.campaign.spec import CampaignSpec
+from repro.exceptions import ConfigurationError
+from repro.results.model import SCHEMA_VERSION, ExperimentResult
+
+
+def toy_spec(seeds=(1, 2), name="server-unit"):
+    """A tiny grid; the server under test injects a fake executor."""
+    return CampaignSpec(
+        experiment="alice-bob",
+        base={"runs": 1, "packets_per_run": 2, "payload_bits": 64},
+        axes={"seed": tuple(seeds)},
+        quick=True,
+        name=name,
+    )
+
+
+def fake_result(job):
+    """A schema-valid stand-in for a computed result."""
+    return ExperimentResult(
+        name=job.experiment,
+        kind="figure",
+        config=job.config.snapshot(),
+        scalars={"seed": float(job.config.seed)},
+    )
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """A CampaignServer bound to a free port on a background event loop."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    server = CampaignServer(
+        store=tmp_path / "store",
+        port=0,
+        concurrency=2,
+        retries=0,
+        backoff=0.0,
+        max_pending_jobs=50,
+        job_fn=fake_result,
+    )
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=10)
+    try:
+        yield server, f"http://127.0.0.1:{server.port}"
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+
+
+class TestRoundTrip:
+    def test_submit_status_results(self, live_server):
+        server, base = live_server
+        health = client.server_health(base)
+        assert health["status"] == "ok" and health["campaigns"] == 0
+
+        status = client.submit_campaign(base, toy_spec())
+        assert status["created"] is True
+        assert status["total"] == 2
+
+        final = client.wait_for_campaign(base, status["campaign"], timeout=30)
+        assert final["state"] == "completed"
+        assert final["completed"] + final["cached"] == 2 and final["pending"] == 0
+
+        results = client.campaign_results(base, status["campaign"])
+        assert len(results) == 2
+        assert all(r.schema_version == SCHEMA_VERSION for r in results)
+        assert sorted(r.scalars["seed"] for r in results) == [1.0, 2.0]
+
+    def test_resubmit_is_idempotent(self, live_server):
+        _, base = live_server
+        first = client.submit_campaign(base, toy_spec())
+        again = client.submit_campaign(base, toy_spec(name="other-label"))
+        assert again["campaign"] == first["campaign"]
+        assert again["created"] is False
+        assert len(client.list_campaigns(base)) == 1
+
+    def test_fetch_single_result_by_digest(self, live_server):
+        _, base = live_server
+        spec = toy_spec()
+        status = client.submit_campaign(base, spec)
+        client.wait_for_campaign(base, status["campaign"], timeout=30)
+        job = spec.jobs()[0]
+        result = client.fetch_result(base, job.digest)
+        assert result.scalars["seed"] == float(job.config.seed)
+
+    def test_events_stream_ends_with_terminal_status(self, live_server):
+        _, base = live_server
+        status = client.submit_campaign(base, toy_spec(seeds=(5, 6, 7)))
+        url = f"{base}/campaigns/{status['campaign']}/events"
+        with urllib.request.urlopen(url, timeout=30) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            lines = [json.loads(line) for line in response]
+        # First line is the status snapshot, last is the terminal status.
+        # (Jobs that finished before the stream connected appear in the
+        # counters, not as live events, so only the totals are stable.)
+        assert lines[0]["campaign"] == status["campaign"]
+        assert lines[-1]["state"] == "completed"
+        assert lines[-1]["completed"] + lines[-1]["cached"] == 3
+        for event in lines[1:-1]:
+            assert event["event"] in ("started", "retry", "completed", "cached")
+
+
+class TestErrorPaths:
+    def test_unknown_campaign_404(self, live_server):
+        _, base = live_server
+        with pytest.raises(ConfigurationError, match="404"):
+            client.campaign_status(base, "deadbeef")
+
+    def test_unknown_digest_404(self, live_server):
+        _, base = live_server
+        with pytest.raises(ConfigurationError, match="404"):
+            client.fetch_result(base, "ab" * 32)
+
+    def test_unknown_endpoint_404(self, live_server):
+        _, base = live_server
+        with pytest.raises(ConfigurationError, match="404"):
+            client._request(f"{base}/nope")
+
+    def test_bad_spec_400(self, live_server):
+        _, base = live_server
+        request = urllib.request.Request(
+            f"{base}/campaigns", data=b'{"bogus": true}', method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_admission_control_503(self, live_server):
+        _, base = live_server
+        # max_pending_jobs=50: a 100-job grid must be refused up front.
+        big = toy_spec(seeds=tuple(range(1, 101)), name="too-big")
+        with pytest.raises(ConfigurationError, match="503"):
+            client.submit_campaign(base, big)
+        assert client.list_campaigns(base) == []
+
+    def test_unreachable_server(self):
+        with pytest.raises(ConfigurationError, match="cannot reach"):
+            client.server_health("http://127.0.0.1:9", timeout=1.0)
+
+
+class TestResume:
+    def test_second_campaign_reuses_stored_results(self, live_server, tmp_path):
+        _, base = live_server
+        spec = toy_spec()
+        status = client.submit_campaign(base, spec)
+        client.wait_for_campaign(base, status["campaign"], timeout=30)
+        # Submit a superset grid: the overlap must come from the store.
+        superset = toy_spec(seeds=(1, 2, 3), name="superset")
+        status2 = client.submit_campaign(base, superset)
+        final = client.wait_for_campaign(base, status2["campaign"], timeout=30)
+        assert final["state"] == "completed"
+        assert final["cached"] == 2 and final["completed"] == 1

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI smoke test: round-trip a campaign through a live server over HTTP.
+
+Starts ``python -m repro.cli campaign serve`` as a real subprocess on a
+free port, submits a 4-point quick grid over HTTP, waits for the
+campaign to finish, fetches the results, and asserts every returned
+document validates as an ``anc-repro.result/1``
+:class:`~repro.results.model.ExperimentResult`.  Exit code 0 means the
+whole submit -> run -> fetch -> validate loop works end to end.
+
+Run with::
+
+    PYTHONPATH=src python tools/campaign_smoke.py
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.campaign import client  # noqa: E402
+from repro.campaign.spec import CampaignSpec  # noqa: E402
+from repro.results.model import SCHEMA_VERSION, ExperimentResult  # noqa: E402
+
+
+def free_port() -> int:
+    """Ask the OS for an unused TCP port."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def smoke_spec() -> CampaignSpec:
+    """The 2x2 quick grid the smoke test submits."""
+    return CampaignSpec(
+        experiment="alice-bob",
+        base={"runs": 1, "packets_per_run": 2, "payload_bits": 64},
+        axes={"seed": [1, 2], "snr_db_range": [[20.0, 20.0], [25.0, 25.0]]},
+        quick=True,
+        name="ci-smoke",
+    )
+
+
+def main() -> int:
+    """Run the smoke sequence; returns a process exit code."""
+    port = free_port()
+    base = f"http://127.0.0.1:{port}"
+    spec = smoke_spec()
+    with tempfile.TemporaryDirectory(prefix="anc-smoke-") as store_dir:
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "campaign", "serve",
+                "--store", store_dir, "--port", str(port), "--concurrency", "2",
+            ],
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        try:
+            health = client.wait_for_server(base, timeout=30.0)
+            print(f"server up: {json.dumps(health)}")
+
+            status = client.submit_campaign(base, spec)
+            assert status["created"] is True, status
+            assert status["total"] == spec.total_jobs, status
+            print(f"submitted campaign {status['campaign']} "
+                  f"({status['total']} jobs)")
+
+            again = client.submit_campaign(base, spec)
+            assert again["created"] is False, "resubmission must dedupe"
+
+            final = client.wait_for_campaign(base, status["campaign"], timeout=120)
+            print(f"terminal status: {json.dumps(final)}")
+            assert final["state"] == "completed", final
+            assert final["failed"] == 0, final
+
+            results = client.campaign_results(base, status["campaign"])
+            assert len(results) == spec.total_jobs, len(results)
+            for result in results:
+                assert isinstance(result, ExperimentResult)
+                assert result.schema_version == SCHEMA_VERSION
+                rebuilt = ExperimentResult.from_json(result.to_json())
+                assert rebuilt.schema_version == SCHEMA_VERSION
+            print(f"fetched {len(results)} schema-valid "
+                  f"{SCHEMA_VERSION} results")
+
+            digest = spec.jobs()[0].digest
+            one = client.fetch_result(base, digest)
+            assert one.schema_version == SCHEMA_VERSION
+            print(f"single-result fetch by digest OK ({digest[:12]})")
+        finally:
+            server.terminate()
+            server.wait(timeout=30)
+    print("campaign smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

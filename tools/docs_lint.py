@@ -8,8 +8,8 @@ Self-contained (stdlib only) so it runs identically in CI and offline:
 * every public module, class, function and method in the documented
   packages (``repro.experiments``, ``repro.network``, ``repro.mac``,
   ``repro.node``, ``repro.results``, ``repro.channel``,
-  ``repro.backend``) must carry a docstring (a lightweight,
-  dependency-free subset of ``pydocstyle``).
+  ``repro.backend``, ``repro.sim``, ``repro.campaign``) must carry a
+  docstring (a lightweight, dependency-free subset of ``pydocstyle``).
 
 Exit code 0 when clean; 1 with one line per finding otherwise.
 
@@ -39,6 +39,7 @@ DOCSTRING_PACKAGES = (
     "src/repro/channel",
     "src/repro/backend",
     "src/repro/sim",
+    "src/repro/campaign",
 )
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
